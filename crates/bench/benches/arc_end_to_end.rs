@@ -1,0 +1,103 @@
+//! Criterion bench: the whole ARC pipeline — compress a field with the
+//! SZ-like codec, protect it through `arc_encode`, then `arc_decode` and
+//! decompress. Also ablations called out in DESIGN.md §5: block width
+//! (8 vs 64 bits) for Hamming/SEC-DED, and container-header protection
+//! on/off (measured as raw codec vs full container).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use arc_core::{
+    arc_engine_decode, arc_engine_encode, ArcContext, ArcOptions, EncodeRequest, TrainingOptions,
+};
+use arc_datasets::SdrDataset;
+use arc_ecc::{EccConfig, ParallelCodec};
+use arc_pressio::{CompressorSpec, Dataset};
+
+fn payload() -> Vec<u8> {
+    let field = SdrDataset::CesmCldlow.generate(&[180, 360], 3);
+    let comp = CompressorSpec::SzAbs(1e-3).build();
+    comp.compress(&Dataset { data: &field.data, dims: &field.dims }).expect("compress")
+}
+
+fn bench_arc_pipeline(c: &mut Criterion) {
+    let data = payload();
+    let ctx = ArcContext::init(ArcOptions {
+        max_threads: 2,
+        cache_path: None,
+        training: TrainingOptions {
+            sample_bytes: 64 << 10,
+            rs_sample_bytes: 32 << 10,
+            space: vec![EccConfig::secded(true), EccConfig::rs(223, 32).unwrap()],
+        },
+        ..Default::default()
+    })
+    .expect("arc_init");
+    let mut group = c.benchmark_group("arc_end_to_end");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("encode_default_request", |b| {
+        b.iter(|| ctx.encode(&data, &EncodeRequest::default()).expect("encode"))
+    });
+    let (encoded, _) = ctx.encode(&data, &EncodeRequest::default()).expect("encode");
+    group.bench_function("decode_clean", |b| {
+        b.iter(|| ctx.decode(&encoded).expect("decode"))
+    });
+    group.finish();
+}
+
+fn bench_block_width_ablation(c: &mut Criterion) {
+    let data = payload();
+    let mut group = c.benchmark_group("ablation_block_width");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    for (label, config) in [
+        ("hamming_w8", EccConfig::hamming(false)),
+        ("hamming_w64", EccConfig::hamming(true)),
+        ("secded_w8", EccConfig::secded(false)),
+        ("secded_w64", EccConfig::secded(true)),
+    ] {
+        let codec = ParallelCodec::new(config, 2).expect("codec");
+        group.bench_with_input(BenchmarkId::from_parameter(label), &codec, |b, codec| {
+            b.iter(|| codec.encode(&data))
+        });
+    }
+    group.finish();
+}
+
+fn bench_container_overhead_ablation(c: &mut Criterion) {
+    let data = payload();
+    let config = EccConfig::secded(true);
+    let mut group = c.benchmark_group("ablation_container");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    // Raw codec: ECC only, no self-describing protected header.
+    let codec = ParallelCodec::new(config, 2).expect("codec");
+    group.bench_function("raw_codec_roundtrip", |b| {
+        b.iter(|| {
+            let enc = codec.encode(&data);
+            codec.decode(&enc, data.len()).expect("decode")
+        })
+    });
+    // Full container: triplicated length + RS-protected header ×2.
+    group.bench_function("container_roundtrip", |b| {
+        b.iter(|| {
+            let enc = arc_engine_encode(&data, config, 2).expect("encode");
+            arc_engine_decode(&enc, 2).expect("decode")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_arc_pipeline,
+    bench_block_width_ablation,
+    bench_container_overhead_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion benches for the compressor substrates: SZ-like and ZFP-like
+//! compress/decompress on the CESM stand-in, plus the lossless pipelines.
+//! (Context for §6.1's comparison: SZ/ZFP run below ~200 MB/s, which ARC's
+//! ECC throughput comfortably exceeds.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use arc_datasets::SdrDataset;
+use arc_pressio::{CompressorSpec, Dataset};
+
+fn bench_lossy(c: &mut Criterion) {
+    let field = SdrDataset::CesmCldlow.generate(&[180, 360], 7);
+    let ds = Dataset { data: &field.data, dims: &field.dims };
+    let bytes = field.byte_len() as u64;
+    let specs = [
+        CompressorSpec::SzAbs(1e-3),
+        CompressorSpec::SzPwRel(1e-2),
+        CompressorSpec::SzPsnr(90.0),
+        CompressorSpec::ZfpAcc(1e-3),
+        CompressorSpec::ZfpRate(8.0),
+    ];
+    let mut group = c.benchmark_group("compress");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.throughput(Throughput::Bytes(bytes));
+    for spec in specs {
+        let comp = spec.build();
+        group.bench_with_input(BenchmarkId::from_parameter(spec.name()), &comp, |b, comp| {
+            b.iter(|| comp.compress(&ds).expect("compress"))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("decompress");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.throughput(Throughput::Bytes(bytes));
+    for spec in specs {
+        let comp = spec.build();
+        let packed = comp.compress(&ds).expect("compress");
+        group.bench_with_input(BenchmarkId::from_parameter(spec.name()), &comp, |b, comp| {
+            b.iter(|| comp.decompress(&packed).expect("decompress"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_lossless(c: &mut Criterion) {
+    let field = SdrDataset::CesmCldlow.generate(&[180, 360], 7);
+    let raw: Vec<u8> = field.data.iter().flat_map(|x| x.to_le_bytes()).collect();
+    let mut group = c.benchmark_group("lossless");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.throughput(Throughput::Bytes(raw.len() as u64));
+    group.bench_function("deflate_like_compress", |b| {
+        b.iter(|| arc_lossless::deflate::compress(&raw))
+    });
+    group.bench_function("zstd_like_compress", |b| {
+        b.iter(|| arc_lossless::zstd_like::compress(&raw))
+    });
+    let packed = arc_lossless::zstd_like::compress(&raw);
+    group.bench_function("zstd_like_decompress", |b| {
+        b.iter(|| arc_lossless::zstd_like::decompress(&packed).expect("decompress"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lossy, bench_lossless);
+criterion_main!(benches);

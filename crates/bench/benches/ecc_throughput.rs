@@ -1,0 +1,111 @@
+//! Criterion benches behind Figures 8–10: encode / error-free decode /
+//! decode-with-correctable-errors throughput per ECC method.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use arc_bench::{inject_correctable, scaling_schemes};
+use arc_ecc::parallel::DEFAULT_CHUNK_SIZE;
+use arc_ecc::{EccConfig, ParallelCodec};
+
+const PROBE_BYTES: usize = 4 << 20;
+const RS_PROBE_BYTES: usize = 1 << 20;
+
+fn probe(len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| ((i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 29) as u8)
+        .collect()
+}
+
+fn thread_points() -> Vec<usize> {
+    let max = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    if max > 1 {
+        vec![1, max]
+    } else {
+        vec![1]
+    }
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ecc_encode");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for (name, config) in scaling_schemes() {
+        let len = if name == "Reed-Solomon" { RS_PROBE_BYTES } else { PROBE_BYTES };
+        let data = probe(len);
+        group.throughput(Throughput::Bytes(len as u64));
+        for threads in thread_points() {
+            let codec = ParallelCodec::new(config, threads).expect("codec");
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("{threads}t")),
+                &codec,
+                |b, codec| b.iter(|| codec.encode(&data)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_decode_clean(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ecc_decode");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for (name, config) in scaling_schemes() {
+        let len = if name == "Reed-Solomon" { RS_PROBE_BYTES } else { PROBE_BYTES };
+        let data = probe(len);
+        group.throughput(Throughput::Bytes(len as u64));
+        for threads in thread_points() {
+            let codec = ParallelCodec::new(config, threads).expect("codec");
+            let encoded = codec.encode(&data);
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("{threads}t")),
+                &codec,
+                |b, codec| {
+                    b.iter(|| codec.decode(&encoded, data.len()).expect("clean decode"))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_decode_with_errors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ecc_decode_errors");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    let threads = thread_points().pop().unwrap_or(1);
+    for (name, config) in scaling_schemes() {
+        if matches!(config, EccConfig::Parity(_)) {
+            continue; // cannot correct
+        }
+        let len = if name == "Reed-Solomon" { RS_PROBE_BYTES } else { PROBE_BYTES };
+        let data = probe(len);
+        group.throughput(Throughput::Bytes(len as u64));
+        for errors in [1usize, 1000] {
+            let codec = ParallelCodec::new(config, threads).expect("codec");
+            let mut encoded = codec.encode(&data);
+            let injected = inject_correctable(
+                &mut encoded,
+                &config,
+                DEFAULT_CHUNK_SIZE,
+                data.len(),
+                errors,
+                42,
+            );
+            assert!(injected > 0);
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("{errors}err")),
+                &codec,
+                |b, codec| {
+                    b.iter(|| codec.decode(&encoded, data.len()).expect("repairable decode"))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode_clean, bench_decode_with_errors);
+criterion_main!(benches);

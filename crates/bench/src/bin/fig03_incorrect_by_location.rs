@@ -1,0 +1,72 @@
+//! Figure 3: percent of elements violating the error bound per fault
+//! location — CESM, four bounded modes.
+//!
+//! Paper findings: SZ-ABS averages 10.04% incorrect (range 0.01–80%),
+//! SZ-PWREL 9.57%, ZFP-ACC 10.32%, while ZFP-Rate averages **3.53
+//! elements** (0–16) because its fixed-size blocks stop propagation.
+
+use arc_bench::{compress_field, dataset_at, fmt, print_table, RunScale};
+use arc_datasets::SdrDataset;
+use arc_faultsim::{run_campaign_with_bound, sample_bits};
+use arc_pressio::{BoundSpec, CompressorSpec};
+
+fn main() {
+    let scale = RunScale::from_env();
+    let field = dataset_at(scale, SdrDataset::CesmCldlow);
+    let trials = scale.trials(200, 800, 5000);
+    let modes: Vec<(CompressorSpec, BoundSpec)> = vec![
+        (CompressorSpec::SzAbs(0.1), BoundSpec::Abs(0.1)),
+        (CompressorSpec::SzPwRel(0.1), BoundSpec::PwRel(0.1)),
+        (CompressorSpec::ZfpAcc(0.1), BoundSpec::Abs(0.1)),
+        // ZFP-Rate cannot bound error; evaluated against the study's ε.
+        (CompressorSpec::ZfpRate(8.0), BoundSpec::Abs(0.1)),
+    ];
+    let mut summary = Vec::new();
+    for (spec, bound) in modes {
+        let (comp, stream) = compress_field(spec, &field);
+        let total_bits = stream.len() as u64 * 8;
+        let bits = sample_bits(total_bits, trials, 0xF16_03);
+        let report =
+            run_campaign_with_bound(comp.as_ref(), &field.data, &stream, &bits, Some(bound));
+        // Positional profile: deciles of the stream, mean % incorrect each.
+        let mut decile_sum = [0.0f64; 10];
+        let mut decile_n = [0usize; 10];
+        for t in &report.trials {
+            if let (Some(bit), Some(m)) = (t.bit, &t.metrics) {
+                if let Some(p) = m.percent_incorrect {
+                    let d = ((bit * 10) / total_bits.max(1)).min(9) as usize;
+                    decile_sum[d] += p;
+                    decile_n[d] += 1;
+                }
+            }
+        }
+        let deciles: Vec<String> = (0..10)
+            .map(|d| {
+                if decile_n[d] == 0 {
+                    "-".into()
+                } else {
+                    format!("{:.1}", decile_sum[d] / decile_n[d] as f64)
+                }
+            })
+            .collect();
+        let avg_pct = report.avg_percent_incorrect().unwrap_or(0.0);
+        let avg_elems = report.avg_incorrect_elements().unwrap_or(0.0);
+        let (lo, hi) = report.percent_incorrect_range().unwrap_or((0.0, 0.0));
+        summary.push(vec![
+            spec.family().to_string(),
+            fmt(avg_pct),
+            fmt(avg_elems),
+            format!("{} – {}", fmt(lo), fmt(hi)),
+            deciles.join(" "),
+        ]);
+    }
+    print_table(
+        "Fig 3: CESM, % of elements violating the bound per fault location",
+        &["mode", "avg %", "avg elems", "range %", "mean % by stream decile (0..9)"],
+        &summary,
+    );
+    println!(
+        "\npaper: SZ-ABS 10.04% | SZ-PWREL 9.57% | ZFP-ACC 10.32% | ZFP-Rate 3.53 *elements*"
+    );
+    println!("shape check: ZFP-Rate's avg-elements column should be orders of magnitude\nbelow the serial modes' element counts, and its range should stay within one 4^d block.");
+}

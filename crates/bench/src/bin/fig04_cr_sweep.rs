@@ -1,0 +1,92 @@
+//! Figure 4: fault sensitivity at increasing levels of loss — CESM
+//! compressed to target ratios 50×, 25×, 13×, 7× with SZ-ABS, SZ-PWREL and
+//! ZFP-ACC (ZFP-Rate omitted, as in the paper, because its behaviour is
+//! constant across ratios).
+//!
+//! Paper findings: higher compression ratios mask soft errors (the looser
+//! bound absorbs them) — but those bounds are too loose for real science;
+//! at 13× and 7× every mode shows a downward slope with the most damage
+//! from flips near the stream head (the entropy-coder tables).
+
+use arc_bench::{dataset_at, fmt, print_table, RunScale};
+use arc_datasets::SdrDataset;
+use arc_faultsim::{run_campaign_with_bound, sample_bits};
+use arc_pressio::{tune_for_ratio, BoundSpec, CompressorSpec, Dataset};
+
+fn main() {
+    let scale = RunScale::from_env();
+    let field = dataset_at(scale, SdrDataset::CesmCldlow);
+    let ds = Dataset { data: &field.data, dims: &field.dims };
+    let trials = scale.trials(120, 400, 2000);
+    let targets = [50.0, 25.0, 13.0, 7.0];
+    let modes = [
+        CompressorSpec::SzAbs(0.1),
+        CompressorSpec::SzPwRel(0.1),
+        CompressorSpec::ZfpAcc(0.1),
+    ];
+    let mut rows = Vec::new();
+    for spec in modes {
+        for &target in &targets {
+            let tuned = tune_for_ratio(spec, &ds, target, 1e-7, 1e3, 18);
+            let spec_t = spec.with_param(tuned.param);
+            let comp = spec_t.build();
+            let stream = comp.compress(&ds).expect("tuned compression");
+            let total_bits = stream.len() as u64 * 8;
+            let bits = sample_bits(total_bits, trials, 0xF16_04);
+            let bound = match spec {
+                CompressorSpec::SzPwRel(_) => BoundSpec::PwRel(tuned.param),
+                _ => BoundSpec::Abs(tuned.param),
+            };
+            let report = run_campaign_with_bound(
+                comp.as_ref(),
+                &field.data,
+                &stream,
+                &bits,
+                Some(bound),
+            );
+            // Head-vs-tail slope: mean % incorrect in the first vs last
+            // third of the stream.
+            let (mut head, mut hn, mut tail, mut tn) = (0.0f64, 0usize, 0.0f64, 0usize);
+            for t in &report.trials {
+                if let (Some(bit), Some(m)) = (t.bit, &t.metrics) {
+                    if let Some(p) = m.percent_incorrect {
+                        if bit * 3 < total_bits {
+                            head += p;
+                            hn += 1;
+                        } else if bit * 3 >= 2 * total_bits {
+                            tail += p;
+                            tn += 1;
+                        }
+                    }
+                }
+            }
+            rows.push(vec![
+                spec.family().to_string(),
+                format!("{target}x"),
+                fmt(tuned.achieved_ratio),
+                fmt(tuned.param),
+                fmt(report.avg_percent_incorrect().unwrap_or(0.0)),
+                fmt(head / hn.max(1) as f64),
+                fmt(tail / tn.max(1) as f64),
+            ]);
+        }
+    }
+    print_table(
+        "Fig 4: CESM fault sensitivity at target compression ratios",
+        &[
+            "mode",
+            "target CR",
+            "achieved CR",
+            "bound used",
+            "avg % incorrect",
+            "head-third %",
+            "tail-third %",
+        ],
+        &rows,
+    );
+    println!(
+        "\nshape checks vs the paper: (1) avg %% incorrect falls as CR rises (looser\n\
+         bounds mask flips); (2) at 13x/7x the head-third exceeds the tail-third —\n\
+         early bits (entropy tables) cause the most corruption."
+    );
+}

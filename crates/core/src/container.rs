@@ -1,0 +1,332 @@
+//! ARC's self-describing container format.
+//!
+//! `arc_decode()` receives nothing but a byte array, so the container must
+//! carry the ECC configuration, chunk size, and lengths — and those fields
+//! must survive the very soft errors ARC exists to protect against. The
+//! header is therefore wrapped in a Reed-Solomon codeword with 32 parity
+//! symbols (correcting 16 unknown-position byte errors on its own) and
+//! stored **twice**; the 2-byte codeword-length prefix is stored three
+//! times and majority-voted.
+//!
+//! ```text
+//! ┌────────────┬───────────────┬───────────────┬─────────────┐
+//! │ len ×3 (u16)│ header RS cw  │ header RS cw  │   payload   │
+//! └────────────┴───────────────┴───────────────┴─────────────┘
+//! ```
+//!
+//! The payload is the chunk-parallel ECC encoding of the user's byte array
+//! (`arc_ecc::ParallelCodec`). The header additionally carries a CRC-32 of
+//! the *original* data, giving end-to-end detection even for damage an ECC
+//! scheme can miss.
+
+use arc_ecc::crc::crc32;
+use arc_ecc::{EccConfig, RsCodeword};
+
+use crate::error::ArcError;
+
+/// Container magic.
+pub const MAGIC: &[u8; 4] = b"ARC1";
+/// Container format version.
+pub const VERSION: u8 = 1;
+/// Parity symbols protecting the header codeword.
+pub const HEADER_NSYM: usize = 32;
+
+/// Decoded header contents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContainerMeta {
+    /// Identifier of the scheme that encoded the payload: a built-in
+    /// [`EccConfig`] id (`"secded:64"`, `"rs:223:32"`, …) or a custom
+    /// extension id (`"x:<name>"`, see `arc_core::extension`).
+    pub scheme_id: String,
+    /// Chunk size the parallel codec used.
+    pub chunk_size: usize,
+    /// Original (unencoded) data length in bytes.
+    pub data_len: usize,
+    /// Encoded payload length in bytes.
+    pub payload_len: usize,
+    /// CRC-32 of the original data (end-to-end check).
+    pub data_crc: u32,
+}
+
+impl ContainerMeta {
+    /// Built-in configuration, when the id parses as one.
+    pub fn builtin_config(&self) -> Option<EccConfig> {
+        EccConfig::parse_id(&self.scheme_id).ok()
+    }
+}
+
+fn serialize_header(meta: &ContainerMeta) -> Vec<u8> {
+    let id = &meta.scheme_id;
+    let mut out = Vec::with_capacity(40 + id.len());
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    out.push(id.len() as u8);
+    out.extend_from_slice(id.as_bytes());
+    out.extend_from_slice(&(meta.chunk_size as u64).to_le_bytes());
+    out.extend_from_slice(&(meta.data_len as u64).to_le_bytes());
+    out.extend_from_slice(&(meta.payload_len as u64).to_le_bytes());
+    out.extend_from_slice(&meta.data_crc.to_le_bytes());
+    out
+}
+
+fn parse_header(bytes: &[u8]) -> Result<ContainerMeta, ArcError> {
+    let bad = |d: &str| ArcError::Corrupted(format!("header: {d}"));
+    if bytes.len() < 6 || &bytes[..4] != MAGIC {
+        return Err(bad("bad magic"));
+    }
+    if bytes[4] != VERSION {
+        return Err(bad("unsupported version"));
+    }
+    let id_len = bytes[5] as usize;
+    let fixed = 6 + id_len + 8 + 8 + 8 + 4;
+    if bytes.len() < fixed {
+        return Err(bad("truncated"));
+    }
+    let id = std::str::from_utf8(&bytes[6..6 + id_len]).map_err(|_| bad("config id not UTF-8"))?;
+    if id.is_empty() {
+        return Err(bad("empty scheme id"));
+    }
+    // Built-in ids must parse; extension ids ("x:…") are resolved later
+    // against the caller's registry.
+    if !id.starts_with("x:") {
+        EccConfig::parse_id(id).map_err(|e| bad(&format!("config id: {e}")))?;
+    }
+    let scheme_id = id.to_string();
+    let mut pos = 6 + id_len;
+    let mut read_u64 = |bytes: &[u8]| -> u64 {
+        let v = u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap());
+        pos += 8;
+        v
+    };
+    let chunk_size = read_u64(bytes) as usize;
+    let data_len = read_u64(bytes) as usize;
+    let payload_len = read_u64(bytes) as usize;
+    let data_crc = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+    if chunk_size == 0 {
+        return Err(bad("zero chunk size"));
+    }
+    Ok(ContainerMeta { scheme_id, chunk_size, data_len, payload_len, data_crc })
+}
+
+/// Assemble a container around an encoded payload.
+pub fn pack(meta: &ContainerMeta, payload: &[u8]) -> Vec<u8> {
+    debug_assert_eq!(meta.payload_len, payload.len());
+    assert!(meta.scheme_id.len() <= 64, "scheme id too long for the container header");
+    let header = serialize_header(meta);
+    let rs = RsCodeword::new(HEADER_NSYM).expect("static nsym");
+    assert!(
+        header.len() <= rs.max_message_len(),
+        "header of {} bytes exceeds one RS codeword",
+        header.len()
+    );
+    let codeword = rs.encode(&header);
+    let len = codeword.len() as u16;
+    let mut out = Vec::with_capacity(6 + 2 * codeword.len() + payload.len());
+    for _ in 0..3 {
+        out.extend_from_slice(&len.to_le_bytes());
+    }
+    out.extend_from_slice(&codeword);
+    out.extend_from_slice(&codeword);
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Result of unpacking a container.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Unpacked<'a> {
+    /// Parsed header.
+    pub meta: ContainerMeta,
+    /// The (still ECC-encoded) payload region.
+    pub payload: &'a [u8],
+    /// True when the primary header copy was unusable and the backup copy
+    /// saved the day.
+    pub used_backup_header: bool,
+    /// Header bytes repaired by the RS codeword.
+    pub header_symbols_corrected: usize,
+}
+
+/// Parse and repair a container produced by [`pack`].
+pub fn unpack(bytes: &[u8]) -> Result<Unpacked<'_>, ArcError> {
+    if bytes.len() < 6 {
+        return Err(ArcError::Corrupted("container shorter than its length prefix".into()));
+    }
+    // Majority-vote the triplicated length field.
+    let lens: [u16; 3] = [
+        u16::from_le_bytes(bytes[0..2].try_into().unwrap()),
+        u16::from_le_bytes(bytes[2..4].try_into().unwrap()),
+        u16::from_le_bytes(bytes[4..6].try_into().unwrap()),
+    ];
+    let voted = if lens[0] == lens[1] || lens[0] == lens[2] {
+        lens[0]
+    } else if lens[1] == lens[2] {
+        lens[1]
+    } else {
+        // No majority: try each in turn below.
+        0
+    };
+    let rs = RsCodeword::new(HEADER_NSYM).expect("static nsym");
+    let try_len = |len: u16| -> Option<Unpacked<'_>> {
+        let len = len as usize;
+        if len <= HEADER_NSYM || bytes.len() < 6 + 2 * len {
+            return None;
+        }
+        let primary = &bytes[6..6 + len];
+        let backup = &bytes[6 + len..6 + 2 * len];
+        let payload = &bytes[6 + 2 * len..];
+        for (copy, used_backup) in [(primary, false), (backup, true)] {
+            if let Ok((header_bytes, fixed)) = rs.decode(copy) {
+                if let Ok(meta) = parse_header(&header_bytes) {
+                    return Some(Unpacked {
+                        meta,
+                        payload,
+                        used_backup_header: used_backup,
+                        header_symbols_corrected: fixed,
+                    });
+                }
+            }
+        }
+        None
+    };
+    let candidates: Vec<u16> = if voted != 0 {
+        vec![voted]
+    } else {
+        lens.to_vec()
+    };
+    for len in candidates {
+        if let Some(u) = try_len(len) {
+            // Final consistency check against the buffer we actually have.
+            if u.payload.len() != u.meta.payload_len {
+                return Err(ArcError::Corrupted(format!(
+                    "payload region {} bytes but header declares {}",
+                    u.payload.len(),
+                    u.meta.payload_len
+                )));
+            }
+            return Ok(u);
+        }
+    }
+    Err(ArcError::Corrupted("header unrecoverable in both copies".into()))
+}
+
+/// Convenience: the container's end-to-end CRC of original data.
+pub fn data_crc(data: &[u8]) -> u32 {
+    crc32(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> ContainerMeta {
+        ContainerMeta {
+            scheme_id: EccConfig::secded(true).id(),
+            chunk_size: 1 << 20,
+            data_len: 123_456,
+            payload_len: 64,
+            data_crc: 0xDEADBEEF,
+        }
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let m = meta();
+        let payload = vec![7u8; 64];
+        let packed = pack(&m, &payload);
+        let u = unpack(&packed).unwrap();
+        assert_eq!(u.meta, m);
+        assert_eq!(u.payload, &payload[..]);
+        assert!(!u.used_backup_header);
+        assert_eq!(u.header_symbols_corrected, 0);
+    }
+
+    #[test]
+    fn header_survives_scattered_corruption() {
+        let m = meta();
+        let payload = vec![1u8; 64];
+        let packed = pack(&m, &payload);
+        // Corrupt 10 bytes of the primary header codeword.
+        let mut bad = packed.clone();
+        for i in 0..10 {
+            bad[6 + i * 3] ^= 0xFF;
+        }
+        let u = unpack(&bad).unwrap();
+        assert_eq!(u.meta, m);
+        assert!(u.header_symbols_corrected > 0);
+    }
+
+    #[test]
+    fn destroyed_primary_header_falls_back_to_backup() {
+        let m = meta();
+        let payload = vec![1u8; 64];
+        let packed = pack(&m, &payload);
+        let len = u16::from_le_bytes(packed[0..2].try_into().unwrap()) as usize;
+        let mut bad = packed.clone();
+        for b in &mut bad[6..6 + len] {
+            *b = 0xAA;
+        }
+        let u = unpack(&bad).unwrap();
+        assert_eq!(u.meta, m);
+        assert!(u.used_backup_header);
+    }
+
+    #[test]
+    fn corrupted_length_prefix_is_voted_out() {
+        let m = meta();
+        let payload = vec![9u8; 64];
+        let packed = pack(&m, &payload);
+        let mut bad = packed.clone();
+        bad[0] ^= 0xFF; // first copy of the length field
+        bad[1] ^= 0x13;
+        let u = unpack(&bad).unwrap();
+        assert_eq!(u.meta, m);
+    }
+
+    #[test]
+    fn both_headers_destroyed_is_detected() {
+        let m = meta();
+        let payload = vec![2u8; 64];
+        let packed = pack(&m, &payload);
+        let len = u16::from_le_bytes(packed[0..2].try_into().unwrap()) as usize;
+        let mut bad = packed.clone();
+        for b in &mut bad[6..6 + 2 * len] {
+            *b = 0x55;
+        }
+        assert!(matches!(unpack(&bad), Err(ArcError::Corrupted(_))));
+    }
+
+    #[test]
+    fn payload_length_mismatch_detected() {
+        let m = meta();
+        let payload = vec![3u8; 64];
+        let mut packed = pack(&m, &payload);
+        packed.truncate(packed.len() - 10);
+        assert!(matches!(unpack(&packed), Err(ArcError::Corrupted(_))));
+    }
+
+    #[test]
+    fn every_single_byte_corruption_of_header_region_recovers_or_detects() {
+        let m = meta();
+        let payload = vec![4u8; 64];
+        let packed = pack(&m, &payload);
+        let len = u16::from_le_bytes(packed[0..2].try_into().unwrap()) as usize;
+        for i in 0..6 + 2 * len {
+            let mut bad = packed.clone();
+            bad[i] ^= 0x40;
+            match unpack(&bad) {
+                Ok(u) => assert_eq!(u.meta, m, "byte {i}"),
+                Err(e) => panic!("single-byte header damage at {i} unrecoverable: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn all_configs_serialize_in_header() {
+        for config in EccConfig::standard_space() {
+            let m = ContainerMeta { scheme_id: config.id(), ..meta() };
+            let payload = vec![0u8; 64];
+            let packed = pack(&m, &payload);
+            let u = unpack(&packed).unwrap();
+            assert_eq!(u.meta.builtin_config(), Some(config));
+        }
+    }
+}

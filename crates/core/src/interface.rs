@@ -1,0 +1,402 @@
+//! The ARC Interface (§5.1): `arc_init` → `arc_encode`/`arc_decode` →
+//! `arc_close`, in idiomatic Rust clothing.
+//!
+//! [`ArcContext::init`] is `arc_init()`: it loads the cached training
+//! table, measures any missing configuration × thread points, and leaves
+//! the context ready to encode any `&[u8]`. [`ArcContext::encode`] is
+//! `arc_encode()` with the three optional constraints;
+//! [`ArcContext::decode`] is `arc_decode()`, returning the repaired bytes
+//! or raising when damage exceeds the chosen code's ability.
+//! [`ArcContext::close`] is `arc_close()`, persisting refreshed throughput
+//! estimates. Dropping the context saves too, so forgetting `close` costs
+//! nothing but determinism of the save timing.
+
+use std::path::PathBuf;
+
+use parking_lot::RwLock;
+
+use arc_ecc::codec::CorrectionReport;
+use arc_ecc::parallel::DEFAULT_CHUNK_SIZE;
+use arc_ecc::{EccConfig, EccScheme, ParallelCodec};
+
+use crate::constraints::EncodeRequest;
+use crate::container::{self, ContainerMeta};
+use crate::error::ArcError;
+use crate::optimizer::{joint_optimizer, Selection};
+use crate::training::{train, TrainingOptions, TrainingStats, TrainingTable};
+
+/// Pass as `max_threads` to let ARC use every available core
+/// (`ARC_ANY_THREADS`).
+pub const ANY_THREADS: usize = 0;
+
+/// Options for [`ArcContext::init`].
+#[derive(Debug, Clone)]
+pub struct ArcOptions {
+    /// Resource cap on worker threads; [`ANY_THREADS`] removes the cap.
+    pub max_threads: usize,
+    /// Training-cache location; `None` disables persistence.
+    pub cache_path: Option<PathBuf>,
+    /// Training probe sizes and configuration space.
+    pub training: TrainingOptions,
+    /// Chunk granularity for the parallel codecs.
+    pub chunk_size: usize,
+}
+
+impl Default for ArcOptions {
+    fn default() -> Self {
+        ArcOptions {
+            max_threads: ANY_THREADS,
+            cache_path: default_cache_path(),
+            training: TrainingOptions::default(),
+            chunk_size: DEFAULT_CHUNK_SIZE,
+        }
+    }
+}
+
+/// Default cache location: `$ARC_CACHE_DIR/training.tsv`, else
+/// `~/.cache/arc-rs/training.tsv` ("ARC checks its installation directory
+/// for a cache of previously saved configurations", §5.1).
+pub fn default_cache_path() -> Option<PathBuf> {
+    if let Ok(dir) = std::env::var("ARC_CACHE_DIR") {
+        return Some(PathBuf::from(dir).join("training.tsv"));
+    }
+    std::env::var_os("HOME")
+        .map(|home| PathBuf::from(home).join(".cache").join("arc-rs").join("training.tsv"))
+}
+
+/// What [`ArcContext::decode`] reports alongside the repaired data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArcDecodeReport {
+    /// Identifier of the scheme that had protected the data.
+    pub scheme_id: String,
+    /// The built-in configuration, when the id names one (None for custom
+    /// extension schemes).
+    pub config: Option<EccConfig>,
+    /// Repairs performed on the payload.
+    pub correction: CorrectionReport,
+    /// True when the primary header copy was unusable.
+    pub used_backup_header: bool,
+    /// Header bytes the RS codeword repaired.
+    pub header_symbols_corrected: usize,
+}
+
+/// An initialized ARC instance.
+pub struct ArcContext {
+    max_threads: usize,
+    chunk_size: usize,
+    space: Vec<EccConfig>,
+    table: RwLock<TrainingTable>,
+    cache_path: Option<PathBuf>,
+    training_stats: TrainingStats,
+    closed: bool,
+}
+
+impl std::fmt::Debug for ArcContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArcContext")
+            .field("max_threads", &self.max_threads)
+            .field("chunk_size", &self.chunk_size)
+            .field("configs", &self.space.len())
+            .field("trained_points", &self.table.read().len())
+            .finish()
+    }
+}
+
+impl ArcContext {
+    /// `arc_init()`: load the cache, train missing configurations, return a
+    /// ready context.
+    pub fn init(options: ArcOptions) -> Result<ArcContext, ArcError> {
+        let max_threads = if options.max_threads == ANY_THREADS {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            options.max_threads
+        };
+        let mut table = match &options.cache_path {
+            Some(p) => TrainingTable::load_or_default(p),
+            None => TrainingTable::new(),
+        };
+        let stats = train(&mut table, max_threads, &options.training)?;
+        let ctx = ArcContext {
+            max_threads,
+            chunk_size: options.chunk_size,
+            space: options.training.space.clone(),
+            table: RwLock::new(table),
+            cache_path: options.cache_path,
+            training_stats: stats,
+            closed: false,
+        };
+        ctx.save_cache()?;
+        Ok(ctx)
+    }
+
+    /// The resolved thread cap.
+    pub fn max_threads(&self) -> usize {
+        self.max_threads
+    }
+
+    /// Statistics from this init's training run (Fig 6's axes).
+    pub fn training_stats(&self) -> TrainingStats {
+        self.training_stats
+    }
+
+    /// A snapshot of the trained throughput table.
+    pub fn training_table(&self) -> TrainingTable {
+        self.table.read().clone()
+    }
+
+    /// The configuration space in use.
+    pub fn config_space(&self) -> &[EccConfig] {
+        &self.space
+    }
+
+    /// Run the optimizer without encoding (`arc_joint_optimizer()` and
+    /// friends; "the user can ignore these suggestions for any reason").
+    pub fn select(&self, request: &EncodeRequest) -> Result<Selection, ArcError> {
+        joint_optimizer(&self.table.read(), &self.space, request, self.max_threads)
+    }
+
+    /// `arc_encode()`: choose a configuration under the constraints and
+    /// protect `data`, returning the container and the selection made.
+    pub fn encode(&self, data: &[u8], request: &EncodeRequest) -> Result<(Vec<u8>, Selection), ArcError> {
+        let selection = self.select(request)?;
+        let out = self.encode_with(data, selection.config, selection.threads)?;
+        Ok((out, selection))
+    }
+
+    /// Engine-level encode with an explicit configuration and thread count
+    /// (§5.2: "the user can ignore these suggestions").
+    pub fn encode_with(
+        &self,
+        data: &[u8],
+        config: EccConfig,
+        threads: usize,
+    ) -> Result<Vec<u8>, ArcError> {
+        let threads = threads.clamp(1, self.max_threads.max(1));
+        let codec = ParallelCodec::with_chunk_size(config, threads, self.chunk_size)?;
+        let t0 = std::time::Instant::now();
+        let payload = codec.encode(data);
+        let seconds = t0.elapsed().as_secs_f64();
+        // Fold the observed throughput back into the table so estimates
+        // stay current (§5.1: arc_close "update[s] all cached
+        // configurations with up-to-date versions gathered during normal
+        // ARC operations"). Skip degenerate timings.
+        if seconds > 1e-4 && !data.is_empty() {
+            let mbs = data.len() as f64 / 1e6 / seconds;
+            let dec = self.table.read().get(&config, threads).map(|m| m.decode_mb_s);
+            if let Some(dec) = dec {
+                self.table.write().record(&config, threads, mbs, dec);
+            }
+        }
+        let meta = ContainerMeta {
+            scheme_id: config.id(),
+            chunk_size: self.chunk_size,
+            data_len: data.len(),
+            payload_len: payload.len(),
+            data_crc: container::data_crc(data),
+        };
+        Ok(container::pack(&meta, &payload))
+    }
+
+    /// `arc_decode()`: verify, repair if needed, and return the original
+    /// byte array — or raise when the damage is uncorrectable (Fig 7b).
+    pub fn decode(&self, bytes: &[u8]) -> Result<(Vec<u8>, ArcDecodeReport), ArcError> {
+        decode_with_threads(bytes, self.max_threads)
+    }
+
+    fn save_cache(&self) -> Result<(), ArcError> {
+        if let Some(path) = &self.cache_path {
+            self.table.read().save(path)?;
+        }
+        Ok(())
+    }
+
+    /// `arc_close()`: persist refreshed estimates and consume the context.
+    pub fn close(mut self) -> Result<(), ArcError> {
+        self.closed = true;
+        if let Some(path) = &self.cache_path {
+            self.table.read().save(path)?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for ArcContext {
+    fn drop(&mut self) {
+        if !self.closed {
+            if let Some(path) = &self.cache_path {
+                let _ = self.table.read().save(path);
+            }
+        }
+    }
+}
+
+/// Standalone decode (the container is self-describing, so decoding needs
+/// no trained context — only a thread budget).
+pub fn decode_with_threads(bytes: &[u8], threads: usize) -> Result<(Vec<u8>, ArcDecodeReport), ArcError> {
+    let unpacked = container::unpack(bytes)?;
+    let meta = &unpacked.meta;
+    let config = meta.builtin_config().ok_or_else(|| {
+        ArcError::InvalidRequest(format!(
+            "container uses extension scheme {:?}; decode it with \
+             arc_core::extension::decode_with_registry",
+            meta.scheme_id
+        ))
+    })?;
+    let threads = threads.max(1);
+    let codec = ParallelCodec::with_chunk_size(config, threads, meta.chunk_size)?;
+    let (data, correction) = codec.decode(unpacked.payload, meta.data_len)?;
+    if container::data_crc(&data) != meta.data_crc {
+        return Err(ArcError::Ecc(arc_ecc::EccError::Uncorrectable {
+            scheme: config.name(),
+            detail: "end-to-end CRC mismatch after ECC decode".into(),
+        }));
+    }
+    Ok((
+        data,
+        ArcDecodeReport {
+            scheme_id: meta.scheme_id.clone(),
+            config: Some(config),
+            correction,
+            used_backup_header: unpacked.used_backup_header,
+            header_symbols_corrected: unpacked.header_symbols_corrected,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::{MemoryConstraint, ResiliencyConstraint, ThroughputConstraint};
+    use arc_ecc::EccMethod;
+
+    fn test_options(tag: &str) -> ArcOptions {
+        let dir = std::env::temp_dir().join(format!("arc-iface-{}-{}", tag, std::process::id()));
+        ArcOptions {
+            max_threads: 2,
+            cache_path: Some(dir.join("training.tsv")),
+            training: TrainingOptions {
+                sample_bytes: 32 << 10,
+                rs_sample_bytes: 16 << 10,
+                space: vec![
+                    EccConfig::parity(8).unwrap(),
+                    EccConfig::hamming(true),
+                    EccConfig::secded(true),
+                    EccConfig::rs(32, 8).unwrap(),
+                ],
+            },
+            chunk_size: 16 << 10,
+        }
+    }
+
+    fn payload(n: usize) -> Vec<u8> {
+        (0..n).map(|i| ((i * 131) ^ (i >> 3)) as u8).collect()
+    }
+
+    #[test]
+    fn init_encode_decode_close_lifecycle() {
+        let ctx = ArcContext::init(test_options("lifecycle")).unwrap();
+        assert!(ctx.training_stats().points_measured > 0);
+        let data = payload(100_000);
+        let (encoded, selection) = ctx.encode(&data, &EncodeRequest::default()).unwrap();
+        assert!(encoded.len() > data.len());
+        assert_eq!(selection.config.method(), EccMethod::Rs, "most robust by default");
+        let (decoded, report) = ctx.decode(&encoded).unwrap();
+        assert_eq!(decoded, data);
+        assert!(report.correction.is_clean());
+        ctx.close().unwrap();
+    }
+
+    #[test]
+    fn second_init_reuses_cache() {
+        let opts = test_options("cache-reuse");
+        let ctx = ArcContext::init(opts.clone()).unwrap();
+        let first_points = ctx.training_stats().points_measured;
+        assert!(first_points > 0);
+        ctx.close().unwrap();
+        let ctx2 = ArcContext::init(opts).unwrap();
+        assert_eq!(ctx2.training_stats().points_measured, 0, "fully cached");
+        ctx2.close().unwrap();
+    }
+
+    #[test]
+    fn encode_respects_memory_constraint() {
+        let ctx = ArcContext::init(test_options("memcap")).unwrap();
+        let data = payload(200_000);
+        let req = EncodeRequest {
+            memory: MemoryConstraint::Fraction(0.15),
+            throughput: ThroughputConstraint::Any,
+            resiliency: ResiliencyConstraint::Any,
+        };
+        let (encoded, selection) = ctx.encode(&data, &req).unwrap();
+        assert!(selection.overhead <= 0.15);
+        // Whole-container overhead stays near the configured rate (header
+        // and CRC tables add a small constant).
+        let actual = (encoded.len() - data.len()) as f64 / data.len() as f64;
+        assert!(actual <= 0.17, "actual container overhead {actual}");
+    }
+
+    #[test]
+    fn corrupted_container_is_repaired_end_to_end() {
+        let ctx = ArcContext::init(test_options("repair")).unwrap();
+        let data = payload(50_000);
+        let req = EncodeRequest {
+            memory: MemoryConstraint::Any,
+            throughput: ThroughputConstraint::Any,
+            resiliency: ResiliencyConstraint::ErrorsPerMb(1.0),
+        };
+        let (mut encoded, _) = ctx.encode(&data, &req).unwrap();
+        // A scattered handful of single-bit soft errors.
+        for bit in [999u64, 40_001, 200_003, 399_990] {
+            let idx = (bit / 8) as usize % encoded.len();
+            encoded[idx] ^= 1 << (bit % 8);
+        }
+        let (decoded, report) = ctx.decode(&encoded).unwrap();
+        assert_eq!(decoded, data);
+        assert!(!report.correction.is_clean());
+    }
+
+    #[test]
+    fn detection_only_scheme_raises_on_damage() {
+        let ctx = ArcContext::init(test_options("raise")).unwrap();
+        let data = payload(20_000);
+        let encoded = ctx
+            .encode_with(&data, EccConfig::parity(8).unwrap(), 1)
+            .unwrap();
+        let mut bad = encoded.clone();
+        let target = bad.len() / 2;
+        bad[target] ^= 0x01;
+        match ctx.decode(&bad) {
+            Err(ArcError::Ecc(_)) | Err(ArcError::Corrupted(_)) => {}
+            other => panic!("expected raised error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_needs_no_context() {
+        let ctx = ArcContext::init(test_options("ctxfree")).unwrap();
+        let data = payload(10_000);
+        let (encoded, _) = ctx.encode(&data, &EncodeRequest::default()).unwrap();
+        drop(ctx);
+        let (decoded, _) = decode_with_threads(&encoded, 2).unwrap();
+        assert_eq!(decoded, data);
+    }
+
+    #[test]
+    fn empty_input_round_trips() {
+        let ctx = ArcContext::init(test_options("empty")).unwrap();
+        let (encoded, _) = ctx.encode(&[], &EncodeRequest::default()).unwrap();
+        let (decoded, _) = ctx.decode(&encoded).unwrap();
+        assert!(decoded.is_empty());
+    }
+
+    #[test]
+    fn four_line_integration_matches_algorithm_1() {
+        // Algorithm 1's shape: init → encode → decode → close.
+        let data = payload(4_096);
+        let ctx = ArcContext::init(test_options("algo1")).unwrap(); // arc_init
+        let (encoded, _) = ctx.encode(&data, &EncodeRequest::default()).unwrap(); // arc_encode
+        let (decoded, _) = ctx.decode(&encoded).unwrap(); // arc_decode
+        ctx.close().unwrap(); // arc_close
+        assert_eq!(decoded, data);
+    }
+}

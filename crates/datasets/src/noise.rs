@@ -1,0 +1,172 @@
+//! Deterministic smooth value noise (fractal Brownian motion) used to
+//! synthesize HPC-like scalar fields.
+//!
+//! The SDRBench files the paper uses cannot be redistributed here, so the
+//! generators build fields with the same statistical character: smooth at
+//! fine scales (hence compressible with tight bounds), structured across
+//! several octaves, deterministic for a given seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A lattice of random values with smooth (cosine) interpolation between
+/// lattice points — the classic "value noise" construction.
+#[derive(Debug)]
+pub struct ValueNoise {
+    lattice: Vec<f32>,
+    nx: usize,
+    ny: usize,
+    nz: usize,
+}
+
+#[inline]
+fn smoothstep(t: f32) -> f32 {
+    t * t * (3.0 - 2.0 * t)
+}
+
+impl ValueNoise {
+    /// Build a 3-D lattice (use `nz = 1` for 2-D, `ny = nz = 1` for 1-D);
+    /// lattice extents are in *cells*, values are sampled at `cells + 1`
+    /// lattice points per axis.
+    pub fn new(seed: u64, nx: usize, ny: usize, nz: usize) -> ValueNoise {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (px, py, pz) = (nx + 1, ny + 1, nz + 1);
+        let lattice = (0..px * py * pz).map(|_| rng.random::<f32>() * 2.0 - 1.0).collect();
+        ValueNoise { lattice, nx: px, ny: py, nz: pz }
+    }
+
+    #[inline]
+    fn at(&self, x: usize, y: usize, z: usize) -> f32 {
+        self.lattice[(z * self.ny + y) * self.nx + x]
+    }
+
+    /// Sample at continuous coordinates, each in `[0, cells]` per axis;
+    /// coordinates are clamped to the lattice.
+    pub fn sample(&self, x: f32, y: f32, z: f32) -> f32 {
+        let cx = x.clamp(0.0, (self.nx - 1) as f32 - 1e-3);
+        let cy = y.clamp(0.0, (self.ny - 1) as f32 - 1e-3);
+        let cz = z.clamp(0.0, (self.nz - 1) as f32 - 1e-3);
+        let (x0, y0, z0) = (cx as usize, cy as usize, cz as usize);
+        let (tx, ty, tz) = (
+            smoothstep(cx - x0 as f32),
+            smoothstep(cy - y0 as f32),
+            smoothstep(cz - z0 as f32),
+        );
+        let (x1, y1, z1) = (
+            (x0 + 1).min(self.nx - 1),
+            (y0 + 1).min(self.ny - 1),
+            (z0 + 1).min(self.nz - 1),
+        );
+        let lerp = |a: f32, b: f32, t: f32| a + (b - a) * t;
+        let c00 = lerp(self.at(x0, y0, z0), self.at(x1, y0, z0), tx);
+        let c10 = lerp(self.at(x0, y1, z0), self.at(x1, y1, z0), tx);
+        let c01 = lerp(self.at(x0, y0, z1), self.at(x1, y0, z1), tx);
+        let c11 = lerp(self.at(x0, y1, z1), self.at(x1, y1, z1), tx);
+        let c0 = lerp(c00, c10, ty);
+        let c1 = lerp(c01, c11, ty);
+        lerp(c0, c1, tz)
+    }
+}
+
+/// Multi-octave fractal noise: `octaves` layers of [`ValueNoise`] with
+/// per-octave frequency doubling and `persistence` amplitude decay.
+#[derive(Debug)]
+pub struct Fbm {
+    octaves: Vec<ValueNoise>,
+    persistence: f32,
+}
+
+impl Fbm {
+    /// Build `octaves` layers; octave `o` has `base_cells << o` lattice
+    /// cells per axis (capped to keep memory sane).
+    pub fn new(seed: u64, base_cells: usize, octaves: usize, persistence: f32, d: usize) -> Fbm {
+        let layers = (0..octaves)
+            .map(|o| {
+                let cells = (base_cells << o).min(256);
+                let (nx, ny, nz) = match d {
+                    1 => (cells, 1, 1),
+                    2 => (cells, cells, 1),
+                    _ => (cells, cells, cells),
+                };
+                ValueNoise::new(seed.wrapping_add(o as u64 * 0x9E37), nx, ny, nz)
+            })
+            .collect();
+        Fbm { octaves: layers, persistence }
+    }
+
+    /// Sample with unit coordinates in `[0, 1]` per axis.
+    pub fn sample(&self, u: f32, v: f32, w: f32) -> f32 {
+        let mut amp = 1.0f32;
+        let mut total = 0.0f32;
+        let mut norm = 0.0f32;
+        for layer in &self.octaves {
+            let sx = (layer.nx - 1) as f32;
+            let sy = (layer.ny - 1) as f32;
+            let sz = (layer.nz - 1) as f32;
+            total += amp * layer.sample(u * sx, v * sy, w * sz);
+            norm += amp;
+            amp *= self.persistence;
+        }
+        total / norm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = ValueNoise::new(7, 8, 8, 1);
+        let b = ValueNoise::new(7, 8, 8, 1);
+        let c = ValueNoise::new(8, 8, 8, 1);
+        assert_eq!(a.sample(3.3, 4.4, 0.0), b.sample(3.3, 4.4, 0.0));
+        assert_ne!(a.sample(3.3, 4.4, 0.0), c.sample(3.3, 4.4, 0.0));
+    }
+
+    #[test]
+    fn values_bounded() {
+        let n = ValueNoise::new(1, 16, 16, 4);
+        for i in 0..200 {
+            let v = n.sample(i as f32 * 0.08, i as f32 * 0.05, i as f32 * 0.02);
+            assert!((-1.0..=1.0).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn interpolation_is_continuous() {
+        let n = ValueNoise::new(3, 8, 8, 1);
+        let mut prev = n.sample(0.0, 2.0, 0.0);
+        for step in 1..=400 {
+            let x = step as f32 * 0.01;
+            let cur = n.sample(x, 2.0, 0.0);
+            assert!((cur - prev).abs() < 0.1, "jump at x={x}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn fbm_adds_fine_detail() {
+        // More octaves ⇒ more high-frequency variation.
+        let smooth = Fbm::new(5, 4, 1, 0.5, 2);
+        let rough = Fbm::new(5, 4, 5, 0.7, 2);
+        let tv = |f: &Fbm| -> f32 {
+            let mut t = 0.0;
+            let mut prev = f.sample(0.0, 0.3, 0.0);
+            for i in 1..500 {
+                let cur = f.sample(i as f32 / 500.0, 0.3, 0.0);
+                t += (cur - prev).abs();
+                prev = cur;
+            }
+            t
+        };
+        assert!(tv(&rough) > tv(&smooth), "{} vs {}", tv(&rough), tv(&smooth));
+    }
+
+    #[test]
+    fn clamping_at_borders() {
+        let n = ValueNoise::new(9, 4, 4, 1);
+        let v = n.sample(-5.0, 100.0, 0.0);
+        assert!(v.is_finite());
+    }
+}

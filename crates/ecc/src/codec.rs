@@ -1,0 +1,215 @@
+//! Common types shared by every ECC scheme: errors, correction reports,
+//! capability descriptions, and the [`EccScheme`] trait the ARC engine
+//! dispatches over.
+
+use std::fmt;
+
+/// Errors surfaced by ECC decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EccError {
+    /// Corruption was detected but the scheme cannot repair it. The payload
+    /// must not be used; ARC raises this to the caller (Figure 7b).
+    Uncorrectable {
+        /// Scheme that detected the damage.
+        scheme: &'static str,
+        /// Human-readable description of what was detected.
+        detail: String,
+    },
+    /// The encoded buffer is structurally invalid (wrong length for the
+    /// declared configuration) and cannot even be parsed.
+    Malformed {
+        /// What was wrong.
+        detail: String,
+    },
+    /// The scheme configuration itself is invalid (e.g. RS with k + m > 255).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for EccError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EccError::Uncorrectable { scheme, detail } => {
+                write!(f, "{scheme}: detected uncorrectable corruption: {detail}")
+            }
+            EccError::Malformed { detail } => write!(f, "malformed ECC buffer: {detail}"),
+            EccError::InvalidConfig(d) => write!(f, "invalid ECC configuration: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for EccError {}
+
+/// What a successful `verify_and_correct` call did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CorrectionReport {
+    /// Individual bits repaired (Hamming / SEC-DED / polynomial RS).
+    pub corrected_bits: u64,
+    /// Whole Reed-Solomon devices reconstructed from parity.
+    pub corrected_devices: u64,
+    /// Blocks/codewords that were inspected.
+    pub blocks_checked: u64,
+}
+
+impl CorrectionReport {
+    /// True when the buffer was already clean.
+    pub fn is_clean(&self) -> bool {
+        self.corrected_bits == 0 && self.corrected_devices == 0
+    }
+
+    /// Accumulate another report (used when merging per-chunk results).
+    pub fn merge(&mut self, other: &CorrectionReport) {
+        self.corrected_bits += other.corrected_bits;
+        self.corrected_devices += other.corrected_devices;
+        self.blocks_checked += other.blocks_checked;
+    }
+}
+
+/// Error classes a scheme can handle, mirroring ARC's error-response flags
+/// (`ARC_DET_SPARSE`, `ARC_COR_SPARSE`, `ARC_COR_BURST`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Capability {
+    /// Detects sparse, uniformly distributed single-bit errors.
+    pub detects_sparse: bool,
+    /// Corrects sparse, uniformly distributed single-bit errors.
+    pub corrects_sparse: bool,
+    /// Corrects densely packed burst errors.
+    pub corrects_burst: bool,
+    /// Conservative estimate of the uniformly-distributed error rate
+    /// (errors per MB of protected data) the scheme corrects with ≥99%
+    /// confidence. Zero for detection-only schemes.
+    pub correctable_per_mb: f64,
+}
+
+/// Number of bytes in 1 MB as used for the errors-per-MB resiliency model.
+pub const MB: f64 = 1024.0 * 1024.0;
+
+/// Given `codewords_per_mb` single-error-correcting codewords, the largest
+/// uniform error rate (errors/MB) for which the probability of any codeword
+/// receiving two errors stays below 1%.
+///
+/// For `e` errors thrown uniformly into `n` codewords the collision
+/// probability is ≈ e(e−1)/(2n); solving for 1% gives e ≈ √(0.02·n).
+pub fn single_correct_rate_per_mb(codewords_per_mb: f64) -> f64 {
+    (0.02 * codewords_per_mb).sqrt().max(1.0)
+}
+
+/// The interface every ECC scheme implements. Encoded layout is always
+/// `data ‖ parity`; `parity_len` is a pure function of the data length so the
+/// chunk-parallel driver can compute offsets without per-chunk headers.
+pub trait EccScheme: Send + Sync {
+    /// Short stable identifier ("parity", "hamming", "secded", "rs").
+    fn name(&self) -> &'static str;
+
+    /// Parity bytes produced for `data_len` bytes of input.
+    fn parity_len(&self, data_len: usize) -> usize;
+
+    /// Asymptotic storage overhead (parity bytes per data byte).
+    fn storage_overhead(&self) -> f64;
+
+    /// Compute the parity region for `data`.
+    fn encode_parity(&self, data: &[u8]) -> Vec<u8>;
+
+    /// Verify `data` against `parity`, repairing both in place when possible.
+    ///
+    /// Returns what was repaired, or [`EccError::Uncorrectable`] when damage
+    /// exceeds the scheme's correction ability (detection-only schemes return
+    /// `Uncorrectable` for *any* detected damage).
+    fn verify_and_correct(
+        &self,
+        data: &mut [u8],
+        parity: &mut [u8],
+    ) -> Result<CorrectionReport, EccError>;
+
+    /// What this scheme can detect/correct.
+    fn capability(&self) -> Capability;
+
+    /// Convenience: full encode producing `data ‖ parity`.
+    fn encode(&self, data: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(data.len() + self.parity_len(data.len()));
+        out.extend_from_slice(data);
+        out.extend_from_slice(&self.encode_parity(data));
+        out
+    }
+
+    /// Convenience: split an encoded buffer, verify/correct, return the data.
+    ///
+    /// `data_len` is the original (unencoded) length, which the caller must
+    /// persist (ARC's container header does).
+    fn decode(&self, encoded: &[u8], data_len: usize) -> Result<(Vec<u8>, CorrectionReport), EccError> {
+        let plen = self.parity_len(data_len);
+        if encoded.len() != data_len + plen {
+            return Err(EccError::Malformed {
+                detail: format!(
+                    "{}: encoded length {} != data {} + parity {}",
+                    self.name(),
+                    encoded.len(),
+                    data_len,
+                    plen
+                ),
+            });
+        }
+        let mut data = encoded[..data_len].to_vec();
+        let mut parity = encoded[data_len..].to_vec();
+        let report = self.verify_and_correct(&mut data, &mut parity)?;
+        Ok((data, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_merge_accumulates() {
+        let mut a = CorrectionReport { corrected_bits: 1, corrected_devices: 0, blocks_checked: 10 };
+        let b = CorrectionReport { corrected_bits: 2, corrected_devices: 3, blocks_checked: 5 };
+        a.merge(&b);
+        assert_eq!(a.corrected_bits, 3);
+        assert_eq!(a.corrected_devices, 3);
+        assert_eq!(a.blocks_checked, 15);
+        assert!(!a.is_clean());
+        assert!(CorrectionReport::default().is_clean());
+    }
+
+    #[test]
+    fn single_correct_rate_scales_with_sqrt() {
+        let r1 = single_correct_rate_per_mb(131_072.0); // Hamming(72,64)
+        let r2 = single_correct_rate_per_mb(1_048_576.0); // Hamming(12,8)
+        assert!(r1 > 40.0 && r1 < 60.0, "r1={r1}");
+        assert!((r2 / r1 - (8.0f64).sqrt()).abs() < 0.1);
+        // Never below one error per MB.
+        assert_eq!(single_correct_rate_per_mb(0.0), 1.0);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = EccError::Uncorrectable { scheme: "secded", detail: "double-bit".into() };
+        assert!(e.to_string().contains("secded"));
+        assert!(e.to_string().contains("double-bit"));
+    }
+}
+
+impl EccScheme for std::sync::Arc<dyn EccScheme> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn parity_len(&self, data_len: usize) -> usize {
+        (**self).parity_len(data_len)
+    }
+    fn storage_overhead(&self) -> f64 {
+        (**self).storage_overhead()
+    }
+    fn encode_parity(&self, data: &[u8]) -> Vec<u8> {
+        (**self).encode_parity(data)
+    }
+    fn verify_and_correct(
+        &self,
+        data: &mut [u8],
+        parity: &mut [u8],
+    ) -> Result<CorrectionReport, EccError> {
+        (**self).verify_and_correct(data, parity)
+    }
+    fn capability(&self) -> Capability {
+        (**self).capability()
+    }
+}

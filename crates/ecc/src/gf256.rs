@@ -1,0 +1,456 @@
+//! Arithmetic over the finite field GF(2^8).
+//!
+//! Reed-Solomon coding (and the generator-matrix construction used by the
+//! device-oriented erasure codec) operates on symbols drawn from GF(2^8),
+//! the field of 256 elements represented as polynomials over GF(2) modulo
+//! the primitive polynomial `x^8 + x^4 + x^3 + x^2 + 1` (0x11D). This is the
+//! same field used by Jerasure with `w = 8`, CCSDS Reed-Solomon, and QR codes.
+//!
+//! Multiplication and division are implemented with log/antilog tables built
+//! once at first use; addition is XOR. All operations are branch-light and
+//! allocation-free, suitable for the hot encode/decode loops.
+
+/// The primitive polynomial used to construct the field, with the implicit
+/// x^8 term removed (`x^8 + x^4 + x^3 + x^2 + 1`).
+pub const PRIMITIVE_POLY: u16 = 0x11D;
+
+/// Number of non-zero field elements (the multiplicative group order).
+pub const GROUP_ORDER: usize = 255;
+
+/// Precomputed exp/log tables for GF(2^8).
+///
+/// `exp` is doubled in length so `mul` can skip the `% 255` reduction.
+struct Tables {
+    exp: [u8; 512],
+    log: [u8; 256],
+}
+
+static TABLES: std::sync::OnceLock<Tables> = std::sync::OnceLock::new();
+
+fn tables() -> &'static Tables {
+    TABLES.get_or_init(|| {
+        let mut exp = [0u8; 512];
+        let mut log = [0u8; 256];
+        let mut x: u16 = 1;
+        for i in 0..GROUP_ORDER {
+            exp[i] = x as u8;
+            log[x as usize] = i as u8;
+            x <<= 1;
+            if x & 0x100 != 0 {
+                x ^= PRIMITIVE_POLY;
+            }
+        }
+        for i in GROUP_ORDER..512 {
+            exp[i] = exp[i - GROUP_ORDER];
+        }
+        Tables { exp, log }
+    })
+}
+
+/// A single element of GF(2^8).
+///
+/// This is a zero-cost newtype over `u8`; all arithmetic is by value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Gf(pub u8);
+
+impl Gf {
+    /// The additive identity.
+    pub const ZERO: Gf = Gf(0);
+    /// The multiplicative identity.
+    pub const ONE: Gf = Gf(1);
+    /// The canonical generator α = 0x02 of the multiplicative group.
+    pub const ALPHA: Gf = Gf(2);
+
+    /// Field addition (XOR). Identical to subtraction in GF(2^8).
+    #[inline]
+    pub fn add(self, rhs: Gf) -> Gf {
+        Gf(self.0 ^ rhs.0)
+    }
+
+    /// Field subtraction; in characteristic 2 this is the same as addition.
+    #[inline]
+    pub fn sub(self, rhs: Gf) -> Gf {
+        self.add(rhs)
+    }
+
+    /// Field multiplication via log/antilog tables.
+    #[inline]
+    pub fn mul(self, rhs: Gf) -> Gf {
+        if self.0 == 0 || rhs.0 == 0 {
+            return Gf::ZERO;
+        }
+        let t = tables();
+        let idx = t.log[self.0 as usize] as usize + t.log[rhs.0 as usize] as usize;
+        Gf(t.exp[idx])
+    }
+
+    /// Field division.
+    ///
+    /// # Panics
+    /// Panics if `rhs` is zero.
+    #[inline]
+    pub fn div(self, rhs: Gf) -> Gf {
+        assert!(rhs.0 != 0, "division by zero in GF(2^8)");
+        if self.0 == 0 {
+            return Gf::ZERO;
+        }
+        let t = tables();
+        let idx = t.log[self.0 as usize] as usize + GROUP_ORDER
+            - t.log[rhs.0 as usize] as usize;
+        Gf(t.exp[idx])
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics if `self` is zero.
+    #[inline]
+    pub fn inv(self) -> Gf {
+        Gf::ONE.div(self)
+    }
+
+    /// Raise to an integer power (exponent taken modulo 255 for non-zero base).
+    #[inline]
+    pub fn pow(self, mut e: i32) -> Gf {
+        if self.0 == 0 {
+            return if e == 0 { Gf::ONE } else { Gf::ZERO };
+        }
+        let t = tables();
+        let l = t.log[self.0 as usize] as i64;
+        e = e.rem_euclid(GROUP_ORDER as i32);
+        let idx = (l * e as i64).rem_euclid(GROUP_ORDER as i64) as usize;
+        Gf(t.exp[idx])
+    }
+
+    /// α^e — the e-th power of the group generator.
+    #[inline]
+    pub fn alpha_pow(e: i32) -> Gf {
+        Gf::ALPHA.pow(e)
+    }
+
+    /// Discrete logarithm base α.
+    ///
+    /// # Panics
+    /// Panics if `self` is zero (zero has no logarithm).
+    #[inline]
+    pub fn log(self) -> u8 {
+        assert!(self.0 != 0, "log of zero in GF(2^8)");
+        tables().log[self.0 as usize]
+    }
+}
+
+/// Multiply a slice of symbols by a scalar in place.
+#[inline]
+pub fn scale_slice(dst: &mut [u8], c: Gf) {
+    if c == Gf::ONE {
+        return;
+    }
+    if c == Gf::ZERO {
+        dst.fill(0);
+        return;
+    }
+    let t = tables();
+    let lc = t.log[c.0 as usize] as usize;
+    for b in dst.iter_mut() {
+        if *b != 0 {
+            *b = t.exp[t.log[*b as usize] as usize + lc];
+        }
+    }
+}
+
+/// `dst[i] ^= c * src[i]` for all i — the core kernel of the device-oriented
+/// Reed-Solomon encoder. `dst` and `src` must have equal length.
+#[inline]
+pub fn mul_acc_slice(dst: &mut [u8], src: &[u8], c: Gf) {
+    debug_assert_eq!(dst.len(), src.len());
+    if c == Gf::ZERO {
+        return;
+    }
+    if c == Gf::ONE {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d ^= s;
+        }
+        return;
+    }
+    let t = tables();
+    let lc = t.log[c.0 as usize] as usize;
+    for (d, s) in dst.iter_mut().zip(src) {
+        if *s != 0 {
+            *d ^= t.exp[t.log[*s as usize] as usize + lc];
+        }
+    }
+}
+
+/// Polynomials over GF(2^8), stored lowest-degree coefficient first.
+///
+/// Used by the Reed-Solomon codeword encoder/decoder (generator polynomial,
+/// syndromes, error locator, etc.).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Poly {
+    /// Coefficients, index = degree. Highest coefficient is non-zero unless
+    /// the polynomial is zero (empty or all-zero is permitted transiently).
+    pub coeffs: Vec<Gf>,
+}
+
+impl Poly {
+    /// The zero polynomial.
+    pub fn zero() -> Poly {
+        Poly { coeffs: vec![] }
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(c: Gf) -> Poly {
+        Poly { coeffs: vec![c] }
+    }
+
+    /// Construct from coefficients (lowest degree first), trimming zeros.
+    pub fn from_coeffs(coeffs: Vec<Gf>) -> Poly {
+        let mut p = Poly { coeffs };
+        p.trim();
+        p
+    }
+
+    /// Degree of the polynomial; 0 for constants and the zero polynomial.
+    pub fn degree(&self) -> usize {
+        self.coeffs.len().saturating_sub(1)
+    }
+
+    /// True when every coefficient is zero.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.iter().all(|c| c.0 == 0)
+    }
+
+    fn trim(&mut self) {
+        while matches!(self.coeffs.last(), Some(c) if c.0 == 0) {
+            self.coeffs.pop();
+        }
+    }
+
+    /// Coefficient of x^i (zero beyond the stored length).
+    #[inline]
+    pub fn coeff(&self, i: usize) -> Gf {
+        self.coeffs.get(i).copied().unwrap_or(Gf::ZERO)
+    }
+
+    /// Polynomial addition.
+    pub fn add(&self, rhs: &Poly) -> Poly {
+        let n = self.coeffs.len().max(rhs.coeffs.len());
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            out.push(self.coeff(i).add(rhs.coeff(i)));
+        }
+        Poly::from_coeffs(out)
+    }
+
+    /// Polynomial multiplication (schoolbook; degrees here are tiny).
+    pub fn mul(&self, rhs: &Poly) -> Poly {
+        if self.is_zero() || rhs.is_zero() {
+            return Poly::zero();
+        }
+        let mut out = vec![Gf::ZERO; self.coeffs.len() + rhs.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            if a.0 == 0 {
+                continue;
+            }
+            for (j, &b) in rhs.coeffs.iter().enumerate() {
+                out[i + j] = out[i + j].add(a.mul(b));
+            }
+        }
+        Poly::from_coeffs(out)
+    }
+
+    /// Multiply by the scalar `c`.
+    pub fn scale(&self, c: Gf) -> Poly {
+        Poly::from_coeffs(self.coeffs.iter().map(|&a| a.mul(c)).collect())
+    }
+
+    /// Multiply by x^k (shift coefficients up).
+    pub fn shift(&self, k: usize) -> Poly {
+        if self.is_zero() {
+            return Poly::zero();
+        }
+        let mut out = vec![Gf::ZERO; k];
+        out.extend_from_slice(&self.coeffs);
+        Poly::from_coeffs(out)
+    }
+
+    /// Evaluate at `x` by Horner's rule.
+    pub fn eval(&self, x: Gf) -> Gf {
+        let mut acc = Gf::ZERO;
+        for &c in self.coeffs.iter().rev() {
+            acc = acc.mul(x).add(c);
+        }
+        acc
+    }
+
+    /// Formal derivative; in characteristic 2, even-degree terms vanish.
+    pub fn derivative(&self) -> Poly {
+        let mut out = Vec::with_capacity(self.coeffs.len().saturating_sub(1));
+        for i in 1..self.coeffs.len() {
+            if i % 2 == 1 {
+                out.push(self.coeffs[i]);
+            } else {
+                out.push(Gf::ZERO);
+            }
+        }
+        Poly::from_coeffs(out)
+    }
+
+    /// Remainder of `self` divided by `rhs`.
+    ///
+    /// # Panics
+    /// Panics if `rhs` is zero.
+    pub fn rem(&self, rhs: &Poly) -> Poly {
+        assert!(!rhs.is_zero(), "polynomial division by zero");
+        let mut r = self.clone();
+        r.trim();
+        let d = rhs.coeffs.len() - 1;
+        let lead_inv = rhs.coeffs[d].inv();
+        while !r.is_zero() && r.coeffs.len() - 1 >= d {
+            let shift = r.coeffs.len() - 1 - d;
+            let c = r.coeffs.last().copied().unwrap().mul(lead_inv);
+            for i in 0..=d {
+                let idx = shift + i;
+                r.coeffs[idx] = r.coeffs[idx].add(rhs.coeffs[i].mul(c));
+            }
+            r.trim();
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_is_xor() {
+        assert_eq!(Gf(0x53).add(Gf(0xCA)), Gf(0x53 ^ 0xCA));
+        assert_eq!(Gf(7).add(Gf(7)), Gf::ZERO);
+    }
+
+    #[test]
+    fn mul_identities() {
+        for v in 0..=255u8 {
+            assert_eq!(Gf(v).mul(Gf::ONE), Gf(v));
+            assert_eq!(Gf(v).mul(Gf::ZERO), Gf::ZERO);
+        }
+    }
+
+    #[test]
+    fn mul_matches_carryless_reference() {
+        // Reference: carry-less multiply then reduce mod 0x11D.
+        fn slow_mul(a: u8, b: u8) -> u8 {
+            let mut acc: u16 = 0;
+            let mut a16 = a as u16;
+            let mut b16 = b as u16;
+            while b16 != 0 {
+                if b16 & 1 != 0 {
+                    acc ^= a16;
+                }
+                b16 >>= 1;
+                a16 <<= 1;
+                if a16 & 0x100 != 0 {
+                    a16 ^= PRIMITIVE_POLY;
+                }
+            }
+            acc as u8
+        }
+        for a in (0..=255u8).step_by(7) {
+            for b in (0..=255u8).step_by(5) {
+                assert_eq!(Gf(a).mul(Gf(b)).0, slow_mul(a, b), "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_nonzero_element_has_inverse() {
+        for v in 1..=255u8 {
+            assert_eq!(Gf(v).mul(Gf(v).inv()), Gf::ONE, "v={v}");
+        }
+    }
+
+    #[test]
+    fn division_round_trips() {
+        for a in 1..=255u8 {
+            for b in (1..=255u8).step_by(11) {
+                let q = Gf(a).div(Gf(b));
+                assert_eq!(q.mul(Gf(b)), Gf(a));
+            }
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let g = Gf(0x1D);
+        let mut acc = Gf::ONE;
+        for e in 0..300 {
+            assert_eq!(g.pow(e), acc, "e={e}");
+            acc = acc.mul(g);
+        }
+    }
+
+    #[test]
+    fn alpha_generates_group() {
+        let mut seen = [false; 256];
+        for e in 0..GROUP_ORDER as i32 {
+            let v = Gf::alpha_pow(e);
+            assert!(!seen[v.0 as usize], "alpha^{e} repeated");
+            seen[v.0 as usize] = true;
+        }
+        assert!(!seen[0], "alpha powers never hit zero");
+    }
+
+    #[test]
+    fn mul_acc_kernel_matches_scalar_loop() {
+        let src: Vec<u8> = (0..=255).collect();
+        for c in [0u8, 1, 2, 0x1D, 0xFF] {
+            let mut dst = vec![0xA5u8; 256];
+            let mut expect = dst.clone();
+            mul_acc_slice(&mut dst, &src, Gf(c));
+            for (e, s) in expect.iter_mut().zip(&src) {
+                *e ^= Gf(*s).mul(Gf(c)).0;
+            }
+            assert_eq!(dst, expect, "c={c}");
+        }
+    }
+
+    #[test]
+    fn scale_slice_matches_mul() {
+        let mut v: Vec<u8> = (0..=255).collect();
+        scale_slice(&mut v, Gf(0x53));
+        for (i, &b) in v.iter().enumerate() {
+            assert_eq!(Gf(b), Gf(i as u8).mul(Gf(0x53)));
+        }
+    }
+
+    #[test]
+    fn poly_mul_and_eval_consistent() {
+        // (x + 1)(x + 2) evaluated at x must equal product of factors.
+        let p1 = Poly::from_coeffs(vec![Gf(1), Gf(1)]);
+        let p2 = Poly::from_coeffs(vec![Gf(2), Gf(1)]);
+        let prod = p1.mul(&p2);
+        for x in 0..=255u8 {
+            let x = Gf(x);
+            assert_eq!(prod.eval(x), p1.eval(x).mul(p2.eval(x)));
+        }
+    }
+
+    #[test]
+    fn poly_rem_has_lower_degree() {
+        let num = Poly::from_coeffs((1..=10).map(Gf).collect());
+        let den = Poly::from_coeffs(vec![Gf(3), Gf(0), Gf(1)]);
+        let r = num.rem(&den);
+        assert!(r.is_zero() || r.degree() < den.degree());
+    }
+
+    #[test]
+    fn poly_derivative_characteristic_two() {
+        // d/dx (a + bx + cx^2 + dx^3) = b + dx^2 in characteristic 2.
+        let p = Poly::from_coeffs(vec![Gf(9), Gf(7), Gf(5), Gf(3)]);
+        let d = p.derivative();
+        assert_eq!(d.coeff(0), Gf(7));
+        assert_eq!(d.coeff(1), Gf::ZERO);
+        assert_eq!(d.coeff(2), Gf(3));
+    }
+}

@@ -1,0 +1,372 @@
+//! Chunk-parallel ECC encoding/decoding with explicit thread counts.
+//!
+//! The paper parallelizes every ECC method with OpenMP and caps resource use
+//! at the thread count given to `arc_init()` (§5.1). This module is the Rust
+//! equivalent: input is split into fixed-size chunks, each chunk is encoded
+//! or verified independently on a dedicated rayon thread pool whose size the
+//! caller controls, and per-chunk correction reports are merged.
+//!
+//! Encoded layout: `data ‖ parity₀ ‖ parity₁ ‖ …` — chunk parity regions
+//! follow the (unmodified) data in order. Because every scheme's parity
+//! length is a pure function of the chunk length, offsets are computable on
+//! both sides without per-chunk headers, keeping overhead at exactly the
+//! scheme's own rate.
+
+use rayon::prelude::*;
+
+use crate::codec::{CorrectionReport, EccError, EccScheme};
+use crate::config::EccConfig;
+
+/// Default chunk size (1 MiB): large enough to amortize dispatch, small
+/// enough that a 26 MB CESM buffer spreads across 26+ threads.
+pub const DEFAULT_CHUNK_SIZE: usize = 1 << 20;
+
+/// A chunk-parallel codec for one ECC scheme at a fixed thread count.
+///
+/// Generic over the scheme so both the built-in [`EccConfig`] space and
+/// custom schemes registered through ARC's extension API (boxed
+/// `Arc<dyn EccScheme>`) get identical chunking and thread semantics.
+pub struct ParallelCodec<S: EccScheme = EccConfig> {
+    config: S,
+    chunk_size: usize,
+    threads: usize,
+    pool: Option<rayon::ThreadPool>,
+}
+
+impl<S: EccScheme + std::fmt::Debug> std::fmt::Debug for ParallelCodec<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParallelCodec")
+            .field("config", &self.config)
+            .field("chunk_size", &self.chunk_size)
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl<S: EccScheme> ParallelCodec<S> {
+    /// Create a codec running on `threads` worker threads (1 = in-line
+    /// sequential execution, no pool is spawned).
+    pub fn new(config: S, threads: usize) -> Result<ParallelCodec<S>, EccError> {
+        Self::with_chunk_size(config, threads, DEFAULT_CHUNK_SIZE)
+    }
+
+    /// As [`ParallelCodec::new`] with an explicit chunk size.
+    pub fn with_chunk_size(
+        config: S,
+        threads: usize,
+        chunk_size: usize,
+    ) -> Result<ParallelCodec<S>, EccError> {
+        if threads == 0 {
+            return Err(EccError::InvalidConfig("thread count must be >= 1".into()));
+        }
+        if chunk_size == 0 {
+            return Err(EccError::InvalidConfig("chunk size must be >= 1".into()));
+        }
+        let pool = if threads > 1 {
+            Some(
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .thread_name(|i| format!("arc-ecc-{i}"))
+                    .build()
+                    .map_err(|e| EccError::InvalidConfig(format!("thread pool: {e}")))?,
+            )
+        } else {
+            None
+        };
+        Ok(ParallelCodec { config, chunk_size, threads, pool })
+    }
+
+    /// The configuration this codec runs.
+    pub fn config(&self) -> &S {
+        &self.config
+    }
+
+    /// Worker threads in use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Chunk granularity in bytes.
+    pub fn chunk_size(&self) -> usize {
+        self.chunk_size
+    }
+
+    /// Total encoded length for `data_len` input bytes.
+    pub fn encoded_len(&self, data_len: usize) -> usize {
+        data_len + self.total_parity_len(data_len)
+    }
+
+    fn total_parity_len(&self, data_len: usize) -> usize {
+        let full = data_len / self.chunk_size;
+        let tail = data_len % self.chunk_size;
+        let mut total = full * self.config.parity_len(self.chunk_size);
+        if tail > 0 {
+            total += self.config.parity_len(tail);
+        }
+        total
+    }
+
+    /// Per-chunk parity lengths, in chunk order.
+    fn parity_lens(&self, data_len: usize) -> Vec<usize> {
+        let mut lens = Vec::with_capacity(data_len.div_ceil(self.chunk_size).max(1));
+        let mut remaining = data_len;
+        while remaining > 0 {
+            let c = remaining.min(self.chunk_size);
+            lens.push(self.config.parity_len(c));
+            remaining -= c;
+        }
+        lens
+    }
+
+    /// Encode `data`, returning `data ‖ parity regions`.
+    pub fn encode(&self, data: &[u8]) -> Vec<u8> {
+        let parity_lens = self.parity_lens(data.len());
+        let total_parity: usize = parity_lens.iter().sum();
+        let mut out = Vec::with_capacity(data.len() + total_parity);
+        out.extend_from_slice(data);
+        out.resize(data.len() + total_parity, 0);
+        let (_, parity_all) = out.split_at_mut(data.len());
+        let mut jobs: Vec<(&[u8], &mut [u8])> = Vec::with_capacity(parity_lens.len());
+        let mut parity_rest = parity_all;
+        for (chunk, &plen) in data.chunks(self.chunk_size).zip(&parity_lens) {
+            let (p, rest) = parity_rest.split_at_mut(plen);
+            parity_rest = rest;
+            jobs.push((chunk, p));
+        }
+        let run = |jobs: &mut Vec<(&[u8], &mut [u8])>| {
+            jobs.par_iter_mut().for_each(|(chunk, parity)| {
+                let p = self.config.encode_parity(chunk);
+                parity.copy_from_slice(&p);
+            });
+        };
+        match &self.pool {
+            Some(pool) => pool.install(|| run(&mut jobs)),
+            None => {
+                for (chunk, parity) in &mut jobs {
+                    parity.copy_from_slice(&self.config.encode_parity(chunk));
+                }
+            }
+        }
+        out
+    }
+
+    /// Decode an encoded buffer, verifying and repairing every chunk.
+    ///
+    /// `data_len` is the original input length (persisted by ARC's
+    /// container). Returns the repaired data and a merged report, or the
+    /// first uncorrectable chunk's error.
+    pub fn decode(
+        &self,
+        encoded: &[u8],
+        data_len: usize,
+    ) -> Result<(Vec<u8>, CorrectionReport), EccError> {
+        let expected = self.encoded_len(data_len);
+        if encoded.len() != expected {
+            return Err(EccError::Malformed {
+                detail: format!(
+                    "parallel codec: encoded length {} != expected {expected}",
+                    encoded.len()
+                ),
+            });
+        }
+        let mut buf = encoded.to_vec();
+        let (data_all, parity_all) = buf.split_at_mut(data_len);
+        let parity_lens = self.parity_lens(data_len);
+        let mut jobs: Vec<(&mut [u8], &mut [u8])> = Vec::with_capacity(parity_lens.len());
+        let mut parity_rest = parity_all;
+        for (chunk, &plen) in data_all.chunks_mut(self.chunk_size).zip(&parity_lens) {
+            let (p, rest) = parity_rest.split_at_mut(plen);
+            parity_rest = rest;
+            jobs.push((chunk, p));
+        }
+        let results: Vec<Result<CorrectionReport, EccError>> = match &self.pool {
+            Some(pool) => pool.install(|| {
+                jobs.par_iter_mut()
+                    .map(|(chunk, parity)| self.config.verify_and_correct(chunk, parity))
+                    .collect()
+            }),
+            None => jobs
+                .iter_mut()
+                .map(|(chunk, parity)| self.config.verify_and_correct(chunk, parity))
+                .collect(),
+        };
+        let mut merged = CorrectionReport::default();
+        for r in results {
+            merged.merge(&r?);
+        }
+        buf.truncate(data_len);
+        Ok((buf, merged))
+    }
+}
+
+/// Measured throughput of one encode or decode run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThroughputSample {
+    /// Input bytes processed.
+    pub bytes: usize,
+    /// Wall-clock seconds elapsed.
+    pub seconds: f64,
+}
+
+impl ThroughputSample {
+    /// Throughput in MB/s (decimal MB, as the paper reports).
+    pub fn mb_per_s(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.bytes as f64 / 1e6 / self.seconds
+    }
+}
+
+/// Encode while timing; used by ARC's training phase and the Fig 8 harness.
+pub fn timed_encode<S: EccScheme>(codec: &ParallelCodec<S>, data: &[u8]) -> (Vec<u8>, ThroughputSample) {
+    let t0 = std::time::Instant::now();
+    let out = codec.encode(data);
+    let sample = ThroughputSample { bytes: data.len(), seconds: t0.elapsed().as_secs_f64() };
+    (out, sample)
+}
+
+/// Decode while timing; used by ARC's training phase and the Fig 9 harness.
+pub fn timed_decode<S: EccScheme>(
+    codec: &ParallelCodec<S>,
+    encoded: &[u8],
+    data_len: usize,
+) -> Result<(Vec<u8>, CorrectionReport, ThroughputSample), EccError> {
+    let t0 = std::time::Instant::now();
+    let (out, report) = codec.decode(encoded, data_len)?;
+    let sample = ThroughputSample { bytes: data_len, seconds: t0.elapsed().as_secs_f64() };
+    Ok((out, report, sample))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::flip_bit;
+
+    fn sample(n: usize) -> Vec<u8> {
+        (0..n).map(|i| ((i * 31 + i / 7) % 256) as u8).collect()
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let cfg = EccConfig::hamming(true);
+        assert!(ParallelCodec::new(cfg, 0).is_err());
+        assert!(ParallelCodec::with_chunk_size(cfg, 1, 0).is_err());
+    }
+
+    #[test]
+    fn round_trip_all_schemes_sequential_and_parallel() {
+        let configs = [
+            EccConfig::parity(8).unwrap(),
+            EccConfig::hamming(false),
+            EccConfig::hamming(true),
+            EccConfig::secded(false),
+            EccConfig::secded(true),
+            EccConfig::rs(16, 4).unwrap(),
+        ];
+        let data = sample(300_000);
+        for cfg in configs {
+            for threads in [1usize, 4] {
+                let codec = ParallelCodec::with_chunk_size(cfg, threads, 64 * 1024).unwrap();
+                let enc = codec.encode(&data);
+                assert_eq!(enc.len(), codec.encoded_len(data.len()));
+                let (out, report) = codec.decode(&enc, data.len()).unwrap();
+                assert_eq!(out, data, "{cfg} threads={threads}");
+                assert!(report.is_clean());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_output_is_identical_to_sequential() {
+        let data = sample(500_000);
+        for cfg in [EccConfig::secded(true), EccConfig::rs(32, 8).unwrap()] {
+            let seq = ParallelCodec::with_chunk_size(cfg, 1, 100_000).unwrap();
+            let par = ParallelCodec::with_chunk_size(cfg, 8, 100_000).unwrap();
+            assert_eq!(seq.encode(&data), par.encode(&data), "{cfg}");
+        }
+    }
+
+    #[test]
+    fn corrects_one_flip_per_chunk() {
+        let cfg = EccConfig::secded(true);
+        let codec = ParallelCodec::with_chunk_size(cfg, 4, 10_000).unwrap();
+        let data = sample(100_000);
+        let mut enc = codec.encode(&data);
+        for i in 0..10u64 {
+            flip_bit(&mut enc, i * 10_000 * 8 + i * 64);
+        }
+        let (out, report) = codec.decode(&enc, data.len()).unwrap();
+        assert_eq!(out, data);
+        assert_eq!(report.corrected_bits, 10);
+    }
+
+    #[test]
+    fn uncorrectable_chunk_fails_whole_decode() {
+        let cfg = EccConfig::parity(8).unwrap();
+        let codec = ParallelCodec::with_chunk_size(cfg, 2, 1000).unwrap();
+        let data = sample(5000);
+        let mut enc = codec.encode(&data);
+        flip_bit(&mut enc, 12345);
+        assert!(matches!(
+            codec.decode(&enc, data.len()),
+            Err(EccError::Uncorrectable { .. })
+        ));
+    }
+
+    #[test]
+    fn length_mismatch_is_malformed() {
+        let cfg = EccConfig::hamming(true);
+        let codec = ParallelCodec::new(cfg, 1).unwrap();
+        let data = sample(1000);
+        let enc = codec.encode(&data);
+        assert!(matches!(
+            codec.decode(&enc[..enc.len() - 1], data.len()),
+            Err(EccError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn rs_chunk_independence_bounds_burst_damage() {
+        // A burst confined to one chunk never affects other chunks.
+        let cfg = EccConfig::rs(16, 4).unwrap();
+        let codec = ParallelCodec::with_chunk_size(cfg, 2, 4096).unwrap();
+        let data = sample(16 * 4096);
+        let mut enc = codec.encode(&data);
+        // Destroy 1/5 of chunk 3's data (within m/k tolerance of that chunk).
+        let start = 3 * 4096;
+        for b in &mut enc[start..start + 4096 / 5] {
+            *b = 0xDD;
+        }
+        let (out, report) = codec.decode(&enc, data.len()).unwrap();
+        assert_eq!(out, data);
+        assert!(report.corrected_devices >= 1);
+    }
+
+    #[test]
+    fn empty_input_round_trips() {
+        let codec = ParallelCodec::new(EccConfig::secded(true), 2).unwrap();
+        let enc = codec.encode(&[]);
+        assert!(enc.is_empty());
+        let (out, _) = codec.decode(&enc, 0).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn tail_chunk_smaller_than_chunk_size() {
+        let cfg = EccConfig::hamming(false);
+        let codec = ParallelCodec::with_chunk_size(cfg, 3, 999).unwrap();
+        let data = sample(999 * 4 + 123);
+        let enc = codec.encode(&data);
+        let (out, _) = codec.decode(&enc, data.len()).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn throughput_sample_math() {
+        let s = ThroughputSample { bytes: 2_000_000, seconds: 0.5 };
+        assert!((s.mb_per_s() - 4.0).abs() < 1e-9);
+        let z = ThroughputSample { bytes: 1, seconds: 0.0 };
+        assert!(z.mb_per_s().is_infinite());
+    }
+}

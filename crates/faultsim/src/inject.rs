@@ -1,0 +1,152 @@
+//! Bit-flip injection and uniform sampling of target bits.
+//!
+//! The paper's methodology (§4.1.3): flip a single bit of the compressed
+//! buffer in memory, then attempt decompression. Exhaustive injection is
+//! intractable (10⁶–10¹² trials), so target bits are drawn by uniform
+//! sampling — 1%, 0.1%, and 0.01% of bits for CESM, Isabel, and NYX
+//! respectively, scaled by data size.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Flip bit `bit` (LSB-first within bytes) of `buf`.
+///
+/// # Panics
+/// Panics if `bit` is out of range.
+#[inline]
+pub fn flip_bit(buf: &mut [u8], bit: u64) {
+    buf[(bit / 8) as usize] ^= 1u8 << (bit % 8);
+}
+
+/// Draw `count` distinct bit positions uniformly from `0..total_bits`,
+/// returned sorted. Deterministic for a seed.
+///
+/// # Panics
+/// Panics if `count > total_bits`.
+pub fn sample_bits(total_bits: u64, count: usize, seed: u64) -> Vec<u64> {
+    assert!(count as u64 <= total_bits, "cannot sample {count} of {total_bits} bits");
+    let mut rng = StdRng::seed_from_u64(seed);
+    if (count as u64) * 3 >= total_bits {
+        // Dense request: reservoir-style selection.
+        let mut all: Vec<u64> = (0..total_bits).collect();
+        for i in 0..count {
+            let j = rng.random_range(i as u64..total_bits) as usize;
+            all.swap(i, j);
+        }
+        let mut out = all[..count].to_vec();
+        out.sort_unstable();
+        return out;
+    }
+    let mut set = std::collections::HashSet::with_capacity(count * 2);
+    while set.len() < count {
+        set.insert(rng.random_range(0..total_bits));
+    }
+    let mut out: Vec<u64> = set.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+/// Sample a fraction (e.g. 0.01 for the paper's 1%) of all bits, at least
+/// one bit for non-empty buffers.
+pub fn sample_fraction(total_bits: u64, fraction: f64, seed: u64) -> Vec<u64> {
+    assert!((0.0..=1.0).contains(&fraction), "fraction out of range");
+    let count = ((total_bits as f64 * fraction).round() as usize)
+        .clamp(usize::from(total_bits > 0), total_bits as usize);
+    sample_bits(total_bits, count, seed)
+}
+
+/// Evenly spaced bit positions (deterministic sweep used by plots that want
+/// a location axis rather than a random sample).
+pub fn stride_bits(total_bits: u64, count: usize) -> Vec<u64> {
+    if count == 0 || total_bits == 0 {
+        return vec![];
+    }
+    let count = count.min(total_bits as usize);
+    (0..count)
+        .map(|i| (i as u64 * total_bits) / count as u64)
+        .collect()
+}
+
+/// Inject `count` random *correctable-by-construction* bit flips into
+/// distinct bytes (used by the Fig 10 decode-under-errors study, which
+/// requires every injected error to be correctable).
+pub fn scatter_byte_flips(buf: &mut [u8], count: usize, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = buf.len() as u64;
+    assert!(count as u64 <= n, "more flips than bytes");
+    let mut chosen = std::collections::HashSet::with_capacity(count * 2);
+    while chosen.len() < count {
+        chosen.insert(rng.random_range(0..n));
+    }
+    let mut bits = Vec::with_capacity(count);
+    for &byte in &chosen {
+        let bit = byte * 8 + rng.random_range(0..8u64);
+        flip_bit(buf, bit);
+        bits.push(bit);
+    }
+    bits.sort_unstable();
+    bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flip_is_involutive() {
+        let mut buf = vec![0x5Au8; 16];
+        let orig = buf.clone();
+        flip_bit(&mut buf, 77);
+        assert_ne!(buf, orig);
+        flip_bit(&mut buf, 77);
+        assert_eq!(buf, orig);
+    }
+
+    #[test]
+    fn sample_bits_distinct_sorted_in_range() {
+        let bits = sample_bits(10_000, 500, 9);
+        assert_eq!(bits.len(), 500);
+        assert!(bits.windows(2).all(|w| w[0] < w[1]));
+        assert!(bits.iter().all(|&b| b < 10_000));
+    }
+
+    #[test]
+    fn sample_bits_deterministic() {
+        assert_eq!(sample_bits(5000, 100, 3), sample_bits(5000, 100, 3));
+        assert_ne!(sample_bits(5000, 100, 3), sample_bits(5000, 100, 4));
+    }
+
+    #[test]
+    fn dense_sampling_works() {
+        let bits = sample_bits(100, 100, 1);
+        assert_eq!(bits, (0..100u64).collect::<Vec<_>>());
+        let bits = sample_bits(100, 90, 1);
+        assert_eq!(bits.len(), 90);
+    }
+
+    #[test]
+    fn fraction_sampling_matches_paper_rates() {
+        // CESM at 1%: 25.92 MB → ~2.07M bits sampled of 207M.
+        let total = 25_920_000u64 * 8;
+        let bits = sample_fraction(total, 0.0001, 5); // scaled-down rate
+        assert_eq!(bits.len(), (total as f64 * 0.0001).round() as usize);
+        assert!(!sample_fraction(10, 0.0, 5).is_empty(), "at least one bit");
+    }
+
+    #[test]
+    fn stride_bits_cover_range_evenly() {
+        let bits = stride_bits(1000, 10);
+        assert_eq!(bits, vec![0, 100, 200, 300, 400, 500, 600, 700, 800, 900]);
+        assert!(stride_bits(5, 10).len() == 5);
+        assert!(stride_bits(0, 10).is_empty());
+    }
+
+    #[test]
+    fn scatter_byte_flips_hits_distinct_bytes() {
+        let mut buf = vec![0u8; 1000];
+        let bits = scatter_byte_flips(&mut buf, 200, 7);
+        assert_eq!(bits.len(), 200);
+        let touched = buf.iter().filter(|&&b| b != 0).count();
+        assert_eq!(touched, 200, "every flip in its own byte");
+    }
+}

@@ -1,0 +1,242 @@
+//! Single fault-injection trials and their return-status taxonomy.
+//!
+//! §4.2 groups every trial's outcome into four classes:
+//!
+//! * **Completed** — decompression "succeeds" with the error present: the
+//!   dangerous class, since the corrupt data flows on (error propagation /
+//!   silent data corruption);
+//! * **Compressor Exception** — the codec noticed and raised an error;
+//! * **Terminated** — the process crashed (captured here as a panic);
+//! * **Timeout** — decompression demanded implausible work (corrupted
+//!   loop-controlling metadata).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+use arc_pressio::{BoundSpec, Compressor, PressioError};
+
+use crate::inject::flip_bit;
+
+/// The paper's four return-status classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReturnStatus {
+    /// Decompression returned data despite the corruption.
+    Completed,
+    /// The compressor raised an exception.
+    CompressorException,
+    /// The decompression crashed (panicked).
+    Terminated,
+    /// The decode exceeded its work budget.
+    Timeout,
+}
+
+impl ReturnStatus {
+    /// All four classes in the paper's order.
+    pub const ALL: [ReturnStatus; 4] = [
+        ReturnStatus::Completed,
+        ReturnStatus::CompressorException,
+        ReturnStatus::Terminated,
+        ReturnStatus::Timeout,
+    ];
+
+    /// Display label matching the paper's figure legend.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ReturnStatus::Completed => "Completed",
+            ReturnStatus::CompressorException => "Compressor Exception",
+            ReturnStatus::Terminated => "Terminated",
+            ReturnStatus::Timeout => "Timeout",
+        }
+    }
+}
+
+/// Integrity metrics recorded for a Completed trial (§4.1.3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrialMetrics {
+    /// Percent of elements violating the evaluation bound (None when the
+    /// mode has no per-value bound, e.g. SZ-PSNR).
+    pub percent_incorrect: Option<f64>,
+    /// Count of violating elements.
+    pub incorrect_elements: Option<usize>,
+    /// Maximum absolute difference against the original data.
+    pub max_abs_diff: f64,
+    /// PSNR against the original data (dB).
+    pub psnr: f64,
+    /// Wall-clock decompression time in seconds.
+    pub decompress_seconds: f64,
+    /// Decompression bandwidth over the compressed size, MB/s.
+    pub bandwidth_mb_s: f64,
+}
+
+/// One trial's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialOutcome {
+    /// The flipped bit's index (bit 0 = LSB of byte 0), or `None` for
+    /// control trials.
+    pub bit: Option<u64>,
+    /// Status class.
+    pub status: ReturnStatus,
+    /// Metrics for Completed trials.
+    pub metrics: Option<TrialMetrics>,
+}
+
+/// Parameters for a single trial run.
+pub struct TrialContext<'a> {
+    /// The compressor that produced (and will decode) the stream.
+    pub compressor: &'a dyn Compressor,
+    /// Original uncompressed values for integrity metrics.
+    pub original: &'a [f32],
+    /// The pristine compressed buffer.
+    pub compressed: &'a [u8],
+    /// Bound used to count incorrect elements (usually the compressor's
+    /// own; overridable for modes without one, like ZFP-Rate in Fig 3d).
+    pub eval_bound: Option<BoundSpec>,
+    /// Decode work budget in elements; the paper uses "3× the average
+    /// decompression time" — here 4× the true element count.
+    pub work_budget: u64,
+}
+
+impl<'a> TrialContext<'a> {
+    /// Build a context with the default work budget and the compressor's
+    /// own bound.
+    pub fn new(
+        compressor: &'a dyn Compressor,
+        original: &'a [f32],
+        compressed: &'a [u8],
+    ) -> TrialContext<'a> {
+        TrialContext {
+            compressor,
+            original,
+            compressed,
+            eval_bound: compressor.bound_spec(),
+            work_budget: (original.len() as u64).saturating_mul(4).max(1024),
+        }
+    }
+
+    /// Run a control trial (no flip) — the baseline row in Fig 5.
+    pub fn run_control(&self) -> TrialOutcome {
+        self.run_with(None)
+    }
+
+    /// Flip `bit` and run.
+    pub fn run_flip(&self, bit: u64) -> TrialOutcome {
+        self.run_with(Some(bit))
+    }
+
+    fn run_with(&self, bit: Option<u64>) -> TrialOutcome {
+        let mut buf = self.compressed.to_vec();
+        if let Some(b) = bit {
+            flip_bit(&mut buf, b);
+        }
+        let t0 = Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            self.compressor.decompress_with_limit(&buf, self.work_budget)
+        }));
+        let seconds = t0.elapsed().as_secs_f64();
+        let status_and_data = match result {
+            Err(_) => (ReturnStatus::Terminated, None),
+            Ok(Err(PressioError::Timeout { .. })) => (ReturnStatus::Timeout, None),
+            Ok(Err(PressioError::Codec(_))) => (ReturnStatus::CompressorException, None),
+            Ok(Ok(decoded)) => {
+                if decoded.data.len() != self.original.len() {
+                    // The stream now describes a different dataset; any
+                    // consumer holding the real dims would reject it.
+                    (ReturnStatus::CompressorException, None)
+                } else {
+                    (ReturnStatus::Completed, Some(decoded))
+                }
+            }
+        };
+        let (status, decoded) = status_and_data;
+        let metrics = decoded.map(|d| {
+            let incorrect = self
+                .eval_bound
+                .map(|b| arc_pressio::incorrect_elements(self.original, &d.data, b));
+            TrialMetrics {
+                percent_incorrect: incorrect
+                    .map(|c| 100.0 * c as f64 / self.original.len().max(1) as f64),
+                incorrect_elements: incorrect,
+                max_abs_diff: arc_pressio::max_abs_diff(self.original, &d.data),
+                psnr: arc_pressio::psnr(self.original, &d.data),
+                decompress_seconds: seconds,
+                bandwidth_mb_s: if seconds > 0.0 {
+                    self.compressed.len() as f64 / 1e6 / seconds
+                } else {
+                    f64::INFINITY
+                },
+            }
+        });
+        TrialOutcome { bit, status, metrics }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arc_pressio::{CompressorSpec, Dataset};
+
+    fn setup() -> (Vec<f32>, Vec<usize>, Vec<u8>, Box<dyn Compressor>) {
+        let dims = vec![32usize, 32];
+        let data: Vec<f32> = (0..1024).map(|i| (i as f32 * 0.02).sin() * 5.0).collect();
+        let comp = CompressorSpec::SzAbs(0.01).build();
+        let packed = comp.compress(&Dataset { data: &data, dims: &dims }).unwrap();
+        (data, dims, packed, comp)
+    }
+
+    #[test]
+    fn control_trial_is_clean_completed() {
+        let (data, _dims, packed, comp) = setup();
+        let ctx = TrialContext::new(comp.as_ref(), &data, &packed);
+        let out = ctx.run_control();
+        assert_eq!(out.status, ReturnStatus::Completed);
+        let m = out.metrics.unwrap();
+        assert_eq!(m.percent_incorrect, Some(0.0));
+        assert!(m.max_abs_diff <= 0.01);
+        assert!(m.psnr > 40.0);
+        assert!(m.bandwidth_mb_s > 0.0);
+    }
+
+    #[test]
+    fn flip_trials_classify_without_panicking_through() {
+        let (data, _dims, packed, comp) = setup();
+        let ctx = TrialContext::new(comp.as_ref(), &data, &packed);
+        let mut counts = std::collections::HashMap::new();
+        for bit in (0..packed.len() as u64 * 8).step_by(193) {
+            let out = ctx.run_flip(bit);
+            *counts.entry(out.status).or_insert(0usize) += 1;
+            if out.status == ReturnStatus::Completed {
+                assert!(out.metrics.is_some());
+            } else {
+                assert!(out.metrics.is_none());
+            }
+        }
+        // Some trials must decode "successfully" despite corruption —
+        // that's the paper's whole point.
+        assert!(counts.get(&ReturnStatus::Completed).copied().unwrap_or(0) > 0, "{counts:?}");
+    }
+
+    #[test]
+    fn corrupted_completed_trials_show_damage() {
+        let (data, _dims, packed, comp) = setup();
+        let ctx = TrialContext::new(comp.as_ref(), &data, &packed);
+        let mut any_damage = false;
+        for bit in (64..packed.len() as u64 * 8).step_by(57) {
+            let out = ctx.run_flip(bit);
+            if out.status == ReturnStatus::Completed {
+                let m = out.metrics.unwrap();
+                if m.percent_incorrect.unwrap_or(0.0) > 0.0 {
+                    any_damage = true;
+                    break;
+                }
+            }
+        }
+        assert!(any_damage, "no flip propagated to decoded values");
+    }
+
+    #[test]
+    fn status_labels_match_paper() {
+        assert_eq!(ReturnStatus::Completed.label(), "Completed");
+        assert_eq!(ReturnStatus::CompressorException.label(), "Compressor Exception");
+        assert_eq!(ReturnStatus::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,261 @@
+//! Bit-granular stream I/O for entropy coders.
+//!
+//! Compression streams (Huffman codes, ZFP bit planes) need MSB-first,
+//! variable-width reads and writes. The writer accumulates into a byte
+//! vector; the reader tracks an explicit bit cursor and returns structured
+//! errors on exhaustion — a corrupted length field must surface as a decode
+//! error (the paper's *Compressor Exception* outcome), never as UB.
+
+use crate::error::LosslessError;
+
+/// MSB-first bit writer.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits used in the final byte (0..8); 0 means byte-aligned.
+    partial: u32,
+}
+
+impl BitWriter {
+    /// New empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append the low `n` bits of `value`, most-significant bit first.
+    ///
+    /// # Panics
+    /// Panics if `n > 64`.
+    pub fn write_bits(&mut self, value: u64, n: u32) {
+        assert!(n <= 64, "write_bits supports at most 64 bits");
+        for i in (0..n).rev() {
+            let bit = (value >> i) & 1;
+            if self.partial == 0 {
+                self.bytes.push(0);
+            }
+            let last = self.bytes.last_mut().expect("just pushed");
+            *last |= (bit as u8) << (7 - self.partial);
+            self.partial = (self.partial + 1) % 8;
+        }
+    }
+
+    /// Append a single bit.
+    #[inline]
+    pub fn write_bit(&mut self, bit: bool) {
+        self.write_bits(bit as u64, 1);
+    }
+
+    /// Pad to a byte boundary with zero bits.
+    pub fn align_byte(&mut self) {
+        self.partial = 0;
+    }
+
+    /// Total bits written.
+    pub fn bit_len(&self) -> u64 {
+        let full = self.bytes.len() as u64 * 8;
+        if self.partial == 0 {
+            full
+        } else {
+            full - (8 - self.partial as u64)
+        }
+    }
+
+    /// Finish, returning the backing bytes (final byte zero-padded).
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// MSB-first bit reader over a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: u64,
+}
+
+impl<'a> BitReader<'a> {
+    /// Wrap a slice; reading starts at bit 0 of byte 0.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Bits remaining.
+    pub fn remaining(&self) -> u64 {
+        self.bytes.len() as u64 * 8 - self.pos
+    }
+
+    /// Current cursor position in bits.
+    pub fn bit_pos(&self) -> u64 {
+        self.pos
+    }
+
+    /// Read one bit.
+    #[inline]
+    pub fn read_bit(&mut self) -> Result<bool, LosslessError> {
+        if self.pos >= self.bytes.len() as u64 * 8 {
+            return Err(LosslessError::truncated("bit stream exhausted"));
+        }
+        let byte = self.bytes[(self.pos / 8) as usize];
+        let bit = (byte >> (7 - (self.pos % 8))) & 1 == 1;
+        self.pos += 1;
+        Ok(bit)
+    }
+
+    /// Read `n` bits MSB-first into the low bits of the result.
+    ///
+    /// # Panics
+    /// Panics if `n > 64`.
+    pub fn read_bits(&mut self, n: u32) -> Result<u64, LosslessError> {
+        assert!(n <= 64);
+        if self.remaining() < n as u64 {
+            return Err(LosslessError::truncated("bit stream exhausted"));
+        }
+        let mut v = 0u64;
+        for _ in 0..n {
+            let byte = self.bytes[(self.pos / 8) as usize];
+            let bit = (byte >> (7 - (self.pos % 8))) & 1;
+            v = (v << 1) | bit as u64;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    /// Skip to the next byte boundary.
+    pub fn align_byte(&mut self) {
+        self.pos = self.pos.div_ceil(8) * 8;
+    }
+}
+
+/// LEB128-style unsigned varint encoding, used by stream headers.
+pub fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decode a varint, advancing `pos`. Fails on truncation or overlong values.
+pub fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, LosslessError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = *bytes
+            .get(*pos)
+            .ok_or_else(|| LosslessError::truncated("varint truncated"))?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(LosslessError::malformed("varint too long"));
+        }
+        if shift == 63 && (b & 0x7E) != 0 {
+            return Err(LosslessError::malformed("varint overflows u64"));
+        }
+        v |= ((b & 0x7F) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// ZigZag mapping of signed to unsigned integers for varint coding.
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_round_trip() {
+        let mut w = BitWriter::new();
+        let fields: &[(u64, u32)] = &[(0b1, 1), (0b0, 1), (0xDEADBEEF, 32), (0x3FF, 10), (0, 7)];
+        for &(v, n) in fields {
+            w.write_bits(v, n);
+        }
+        let total: u32 = fields.iter().map(|f| f.1).sum();
+        assert_eq!(w.bit_len(), total as u64);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in fields {
+            let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+            assert_eq!(r.read_bits(n).unwrap(), v & mask);
+        }
+    }
+
+    #[test]
+    fn msb_first_layout() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0b1010_0000]);
+    }
+
+    #[test]
+    fn align_byte_pads_with_zeros() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b11, 2);
+        w.align_byte();
+        w.write_bits(0xFF, 8);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0b1100_0000, 0xFF]);
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(2).unwrap(), 0b11);
+        r.align_byte();
+        assert_eq!(r.read_bits(8).unwrap(), 0xFF);
+    }
+
+    #[test]
+    fn reader_errors_on_exhaustion() {
+        let bytes = [0xAB];
+        let mut r = BitReader::new(&bytes);
+        assert!(r.read_bits(8).is_ok());
+        assert!(r.read_bit().is_err());
+        assert!(r.read_bits(1).is_err());
+    }
+
+    #[test]
+    fn varint_round_trip() {
+        let values = [0u64, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX];
+        let mut buf = Vec::new();
+        for &v in &values {
+            write_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(read_varint(&buf, &mut pos).unwrap(), v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn varint_rejects_truncation_and_overflow() {
+        let mut pos = 0;
+        assert!(read_varint(&[0x80, 0x80], &mut pos).is_err());
+        let overlong = [0xFF; 11];
+        let mut pos = 0;
+        assert!(read_varint(&overlong, &mut pos).is_err());
+    }
+
+    #[test]
+    fn zigzag_round_trip() {
+        for v in [-5i64, -1, 0, 1, 5, i64::MAX, i64::MIN, 123456789, -987654321] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+}

@@ -1,0 +1,38 @@
+//! Error type for the lossless substrate.
+
+use std::fmt;
+
+/// Decode-side failures. Corrupted compressed data must surface as one of
+//  these (mapping to the fault study's *Compressor Exception* class), never
+/// as silent UB.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LosslessError {
+    /// The stream ended before the declared content did.
+    Truncated(String),
+    /// The stream is structurally invalid (bad magic, impossible field,
+    /// out-of-range back-reference, invalid Huffman table, …).
+    Malformed(String),
+}
+
+impl LosslessError {
+    /// Construct a [`LosslessError::Truncated`].
+    pub fn truncated(detail: impl Into<String>) -> Self {
+        LosslessError::Truncated(detail.into())
+    }
+
+    /// Construct a [`LosslessError::Malformed`].
+    pub fn malformed(detail: impl Into<String>) -> Self {
+        LosslessError::Malformed(detail.into())
+    }
+}
+
+impl fmt::Display for LosslessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LosslessError::Truncated(d) => write!(f, "truncated stream: {d}"),
+            LosslessError::Malformed(d) => write!(f, "malformed stream: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for LosslessError {}

@@ -1,0 +1,433 @@
+//! Canonical Huffman coding over arbitrary `u32` alphabets.
+//!
+//! SZ entropy-codes its quantization bins with a Huffman tree whose alphabet
+//! can run to tens of thousands of symbols (§4.4 discusses how this final
+//! encoding stage shapes error propagation); the deflate-like and zstd-like
+//! pipelines reuse the same coder for literals and match tokens. Canonical
+//! codes let the table be serialized as code *lengths* only.
+
+use crate::bitio::{read_varint, write_varint, BitReader, BitWriter};
+use crate::error::LosslessError;
+
+/// Maximum admissible code length. Code lengths beyond this indicate either
+/// a pathological distribution or stream corruption.
+pub const MAX_CODE_LEN: u32 = 48;
+
+/// A canonical Huffman code: one length per symbol (0 = unused symbol).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HuffmanCode {
+    /// Code length per symbol index; `lengths.len()` is the alphabet size.
+    lengths: Vec<u8>,
+    /// Canonical codewords per symbol (valid where length > 0).
+    codes: Vec<u64>,
+}
+
+impl HuffmanCode {
+    /// Build an optimal prefix code from symbol frequencies.
+    ///
+    /// Symbols with zero frequency get no code. If only one distinct symbol
+    /// occurs it receives a 1-bit code so the stream stays decodable.
+    pub fn from_frequencies(freqs: &[u64]) -> Result<HuffmanCode, LosslessError> {
+        let n = freqs.len();
+        let mut lengths = vec![0u8; n];
+        let used: Vec<usize> = (0..n).filter(|&i| freqs[i] > 0).collect();
+        match used.len() {
+            0 => return HuffmanCode::from_lengths(lengths),
+            1 => {
+                lengths[used[0]] = 1;
+                return HuffmanCode::from_lengths(lengths);
+            }
+            _ => {}
+        }
+        // Heap-merge Huffman tree; nodes: (weight, tiebreak, id).
+        #[derive(PartialEq, Eq)]
+        struct Node {
+            weight: u64,
+            order: usize,
+            id: usize,
+        }
+        impl Ord for Node {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                // Reverse for min-heap; tiebreak on creation order for
+                // determinism and balanced depth.
+                other
+                    .weight
+                    .cmp(&self.weight)
+                    .then(other.order.cmp(&self.order))
+            }
+        }
+        impl PartialOrd for Node {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        let mut heap = std::collections::BinaryHeap::with_capacity(used.len());
+        // parent[id] for tree nodes; leaves are ids 0..used.len().
+        let mut parent: Vec<usize> = vec![usize::MAX; used.len()];
+        for (order, &sym) in used.iter().enumerate() {
+            heap.push(Node { weight: freqs[sym], order, id: order });
+        }
+        let mut next_order = used.len();
+        while heap.len() > 1 {
+            let a = heap.pop().expect("len > 1");
+            let b = heap.pop().expect("len > 1");
+            let id = parent.len();
+            parent.push(usize::MAX);
+            parent[a.id] = id;
+            parent[b.id] = id;
+            heap.push(Node {
+                weight: a.weight.saturating_add(b.weight),
+                order: next_order,
+                id,
+            });
+            next_order += 1;
+        }
+        let root = heap.pop().expect("non-empty").id;
+        for (leaf, &sym) in used.iter().enumerate() {
+            let mut depth = 0u32;
+            let mut node = leaf;
+            while node != root {
+                node = parent[node];
+                depth += 1;
+            }
+            if depth > MAX_CODE_LEN {
+                return Err(LosslessError::malformed("huffman code length overflow"));
+            }
+            lengths[sym] = depth as u8;
+        }
+        HuffmanCode::from_lengths(lengths)
+    }
+
+    /// Build the canonical code from per-symbol lengths, validating the
+    /// Kraft inequality (a corrupted table must be rejected, not trusted).
+    pub fn from_lengths(lengths: Vec<u8>) -> Result<HuffmanCode, LosslessError> {
+        let max_len = lengths.iter().copied().max().unwrap_or(0) as u32;
+        if max_len > MAX_CODE_LEN {
+            return Err(LosslessError::malformed("huffman length exceeds maximum"));
+        }
+        // Kraft sum in units of 2^-max_len.
+        if max_len > 0 {
+            let mut kraft: u128 = 0;
+            for &l in &lengths {
+                if l > 0 {
+                    kraft += 1u128 << (max_len - l as u32);
+                }
+            }
+            if kraft > (1u128 << max_len) {
+                return Err(LosslessError::malformed("huffman lengths violate Kraft inequality"));
+            }
+        }
+        // Canonical assignment: sort by (length, symbol).
+        let mut order: Vec<usize> = (0..lengths.len()).filter(|&i| lengths[i] > 0).collect();
+        order.sort_by_key(|&i| (lengths[i], i));
+        let mut codes = vec![0u64; lengths.len()];
+        let mut code = 0u64;
+        let mut prev_len = 0u32;
+        for &sym in &order {
+            let l = lengths[sym] as u32;
+            code <<= l - prev_len;
+            codes[sym] = code;
+            code += 1;
+            prev_len = l;
+        }
+        Ok(HuffmanCode { lengths, codes })
+    }
+
+    /// Alphabet size (including unused symbols).
+    pub fn alphabet_size(&self) -> usize {
+        self.lengths.len()
+    }
+
+    /// Code length of `symbol` (0 = unused).
+    pub fn length_of(&self, symbol: u32) -> u8 {
+        self.lengths.get(symbol as usize).copied().unwrap_or(0)
+    }
+
+    /// Write `symbol`'s codeword to `out`.
+    ///
+    /// # Panics
+    /// Panics (debug) if the symbol has no code; encoding a symbol that was
+    /// absent from the frequency table is a programming error.
+    #[inline]
+    pub fn encode_symbol(&self, symbol: u32, out: &mut BitWriter) {
+        let l = self.lengths[symbol as usize];
+        debug_assert!(l > 0, "symbol {symbol} has no code");
+        out.write_bits(self.codes[symbol as usize], l as u32);
+    }
+
+    /// Serialize the table (alphabet size + sparse nonzero lengths).
+    pub fn serialize(&self, out: &mut Vec<u8>) {
+        write_varint(out, self.lengths.len() as u64);
+        let nonzero: Vec<usize> = (0..self.lengths.len()).filter(|&i| self.lengths[i] > 0).collect();
+        write_varint(out, nonzero.len() as u64);
+        let mut prev = 0u64;
+        for &i in &nonzero {
+            write_varint(out, i as u64 - prev);
+            out.push(self.lengths[i]);
+            prev = i as u64;
+        }
+    }
+
+    /// Parse a table serialized by [`HuffmanCode::serialize`].
+    pub fn deserialize(bytes: &[u8], pos: &mut usize) -> Result<HuffmanCode, LosslessError> {
+        let alphabet = read_varint(bytes, pos)?;
+        if alphabet > 1 << 24 {
+            return Err(LosslessError::malformed("huffman alphabet implausibly large"));
+        }
+        let count = read_varint(bytes, pos)?;
+        if count > alphabet {
+            return Err(LosslessError::malformed("more coded symbols than alphabet"));
+        }
+        let mut lengths = vec![0u8; alphabet as usize];
+        let mut sym = 0u64;
+        for i in 0..count {
+            let delta = read_varint(bytes, pos)?;
+            sym = if i == 0 { delta } else { sym.checked_add(delta).ok_or_else(|| LosslessError::malformed("symbol index overflow"))? };
+            if sym >= alphabet {
+                return Err(LosslessError::malformed("symbol index out of alphabet"));
+            }
+            let l = *bytes.get(*pos).ok_or_else(|| LosslessError::truncated("huffman table"))?;
+            *pos += 1;
+            if l == 0 {
+                return Err(LosslessError::malformed("zero length in nonzero table"));
+            }
+            lengths[sym as usize] = l;
+        }
+        HuffmanCode::from_lengths(lengths)
+    }
+
+    /// Build a decoder for this code.
+    pub fn decoder(&self) -> HuffmanDecoder {
+        let max_len = self.lengths.iter().copied().max().unwrap_or(0) as u32;
+        // first_code[l], first_index[l]: canonical decoding tables.
+        let mut count = vec![0u64; (max_len + 1) as usize];
+        for &l in &self.lengths {
+            if l > 0 {
+                count[l as usize] += 1;
+            }
+        }
+        let mut symbols_by_len: Vec<u32> = (0..self.lengths.len() as u32)
+            .filter(|&s| self.lengths[s as usize] > 0)
+            .collect();
+        symbols_by_len.sort_by_key(|&s| (self.lengths[s as usize], s));
+        let mut first_code = vec![0u64; (max_len + 2) as usize];
+        let mut first_index = vec![0u64; (max_len + 2) as usize];
+        let mut code = 0u64;
+        let mut index = 0u64;
+        for l in 1..=max_len {
+            first_code[l as usize] = code;
+            first_index[l as usize] = index;
+            code = (code + count[l as usize]) << 1;
+            index += count[l as usize];
+        }
+        HuffmanDecoder { max_len, count, first_code, first_index, symbols_by_len }
+    }
+}
+
+/// Canonical Huffman decoder (per-length first-code tables).
+#[derive(Debug, Clone)]
+pub struct HuffmanDecoder {
+    max_len: u32,
+    count: Vec<u64>,
+    first_code: Vec<u64>,
+    first_index: Vec<u64>,
+    symbols_by_len: Vec<u32>,
+}
+
+impl HuffmanDecoder {
+    /// Decode one symbol from the reader.
+    pub fn decode_symbol(&self, r: &mut BitReader<'_>) -> Result<u32, LosslessError> {
+        if self.max_len == 0 {
+            return Err(LosslessError::malformed("decode from empty huffman code"));
+        }
+        let mut code = 0u64;
+        for l in 1..=self.max_len {
+            code = (code << 1) | r.read_bit()? as u64;
+            let c = self.count[l as usize];
+            if c > 0 && code < self.first_code[l as usize] + c {
+                let offset = code - self.first_code[l as usize];
+                let idx = self.first_index[l as usize] + offset;
+                return Ok(self.symbols_by_len[idx as usize]);
+            }
+        }
+        Err(LosslessError::malformed("invalid huffman codeword"))
+    }
+}
+
+/// Encode a symbol slice as `serialized table ‖ varint count ‖ bitstream`.
+pub fn huffman_encode_block(symbols: &[u32], alphabet: usize) -> Result<Vec<u8>, LosslessError> {
+    let mut freqs = vec![0u64; alphabet];
+    for &s in symbols {
+        *freqs
+            .get_mut(s as usize)
+            .ok_or_else(|| LosslessError::malformed("symbol outside alphabet"))? += 1;
+    }
+    let code = HuffmanCode::from_frequencies(&freqs)?;
+    let mut out = Vec::new();
+    code.serialize(&mut out);
+    write_varint(&mut out, symbols.len() as u64);
+    let mut bits = BitWriter::new();
+    for &s in symbols {
+        code.encode_symbol(s, &mut bits);
+    }
+    let payload = bits.into_bytes();
+    write_varint(&mut out, payload.len() as u64);
+    out.extend_from_slice(&payload);
+    Ok(out)
+}
+
+/// Decode a block produced by [`huffman_encode_block`], advancing `pos`.
+pub fn huffman_decode_block(bytes: &[u8], pos: &mut usize) -> Result<Vec<u32>, LosslessError> {
+    let code = HuffmanCode::deserialize(bytes, pos)?;
+    let n = read_varint(bytes, pos)? as usize;
+    if n > 1 << 31 {
+        return Err(LosslessError::malformed("implausible symbol count"));
+    }
+    let payload_len = read_varint(bytes, pos)? as usize;
+    let end = pos
+        .checked_add(payload_len)
+        .filter(|&e| e <= bytes.len())
+        .ok_or_else(|| LosslessError::truncated("huffman payload"))?;
+    let payload = &bytes[*pos..end];
+    *pos = end;
+    let decoder = code.decoder();
+    let mut r = BitReader::new(payload);
+    let mut out = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        out.push(decoder.decode_symbol(&mut r)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(symbols: &[u32], alphabet: usize) {
+        let enc = huffman_encode_block(symbols, alphabet).unwrap();
+        let mut pos = 0;
+        let dec = huffman_decode_block(&enc, &mut pos).unwrap();
+        assert_eq!(dec, symbols);
+        assert_eq!(pos, enc.len());
+    }
+
+    #[test]
+    fn skewed_distribution_round_trip() {
+        let mut syms = Vec::new();
+        for i in 0..2000u32 {
+            syms.push(if i % 10 == 0 { i % 50 } else { 7 });
+        }
+        round_trip(&syms, 64);
+    }
+
+    #[test]
+    fn single_symbol_stream() {
+        round_trip(&[5u32; 100], 16);
+    }
+
+    #[test]
+    fn empty_stream() {
+        round_trip(&[], 16);
+    }
+
+    #[test]
+    fn uniform_large_alphabet() {
+        let syms: Vec<u32> = (0..5000).map(|i| (i * 37) % 1024).collect();
+        round_trip(&syms, 1024);
+    }
+
+    #[test]
+    fn skewed_code_is_shorter_than_uniform() {
+        let skewed: Vec<u32> = (0..4096).map(|i| if i % 100 == 0 { (i / 100) % 256 } else { 0 }).collect();
+        let uniform: Vec<u32> = (0..4096u32).map(|i| i % 256).collect();
+        let a = huffman_encode_block(&skewed, 256).unwrap();
+        let b = huffman_encode_block(&uniform, 256).unwrap();
+        assert!(a.len() < b.len(), "{} vs {}", a.len(), b.len());
+    }
+
+    #[test]
+    fn optimality_against_entropy_bound() {
+        // Coded size must be within one bit per symbol of the entropy bound.
+        let mut syms = Vec::new();
+        for (s, n) in [(0u32, 500usize), (1, 250), (2, 125), (3, 125)] {
+            syms.extend(std::iter::repeat_n(s, n));
+        }
+        let mut freqs = vec![0u64; 4];
+        for &s in &syms {
+            freqs[s as usize] += 1;
+        }
+        let code = HuffmanCode::from_frequencies(&freqs).unwrap();
+        let total_bits: u64 = syms.iter().map(|&s| code.length_of(s) as u64).sum();
+        let n = syms.len() as f64;
+        let entropy: f64 = freqs
+            .iter()
+            .filter(|&&f| f > 0)
+            .map(|&f| {
+                let p = f as f64 / n;
+                -p * p.log2()
+            })
+            .sum();
+        assert!(total_bits as f64 <= n * (entropy + 1.0));
+        // This particular distribution is dyadic: exactly optimal.
+        assert_eq!(total_bits as f64, n * entropy);
+    }
+
+    #[test]
+    fn rejects_symbol_outside_alphabet() {
+        assert!(huffman_encode_block(&[10], 5).is_err());
+    }
+
+    #[test]
+    fn deserialize_rejects_corrupt_tables() {
+        let enc = huffman_encode_block(&[1u32, 2, 3, 1, 2, 1], 8).unwrap();
+        // Flip every byte in the table region and require a decode failure
+        // or a wrong-but-delivered result; never a panic.
+        for i in 0..enc.len().min(8) {
+            let mut bad = enc.clone();
+            bad[i] ^= 0xFF;
+            let mut pos = 0;
+            let _ = huffman_decode_block(&bad, &mut pos);
+        }
+    }
+
+    #[test]
+    fn kraft_violation_rejected() {
+        // Three symbols of length 1 violates Kraft.
+        assert!(HuffmanCode::from_lengths(vec![1, 1, 1]).is_err());
+        assert!(HuffmanCode::from_lengths(vec![1, 2, 2]).is_ok());
+    }
+
+    #[test]
+    fn truncated_payload_errors() {
+        let enc = huffman_encode_block(&(0..100u32).map(|i| i % 7).collect::<Vec<_>>(), 8).unwrap();
+        let mut pos = 0;
+        assert!(huffman_decode_block(&enc[..enc.len() - 3], &mut pos).is_err());
+    }
+
+    #[test]
+    fn canonical_codes_are_prefix_free() {
+        let freqs: Vec<u64> = (1..=40).map(|i| i * i).collect();
+        let code = HuffmanCode::from_frequencies(&freqs).unwrap();
+        for a in 0..40u32 {
+            for b in 0..40u32 {
+                if a == b {
+                    continue;
+                }
+                let (la, lb) = (code.length_of(a) as u32, code.length_of(b) as u32);
+                if la == 0 || lb == 0 || la > lb {
+                    continue;
+                }
+                let ca = code.codes[a as usize];
+                let cb = code.codes[b as usize];
+                assert_ne!(ca, cb >> (lb - la), "code {a} is a prefix of {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_symbol_alphabet_uses_one_bit() {
+        let code = HuffmanCode::from_frequencies(&[10, 90]).unwrap();
+        assert_eq!(code.length_of(0), 1);
+        assert_eq!(code.length_of(1), 1);
+    }
+}

@@ -1,0 +1,25 @@
+//! # arc-lossless — lossless compression substrate
+//!
+//! From-scratch lossless building blocks standing in for the GZip and ZStd
+//! dependencies of the paper's stack (§2.1, §4.4): bit-granular stream I/O,
+//! canonical Huffman coding, LZ77 match finding, and two complete pipelines —
+//! a DEFLATE-like ("GZip-like") interleaved format and a ZStd-like sectioned
+//! format that serves as SZ's final compression stage.
+//!
+//! ```
+//! let data = b"HPC floating-point data ".repeat(64);
+//! let packed = arc_lossless::zstd_like::compress(&data);
+//! assert!(packed.len() < data.len());
+//! assert_eq!(arc_lossless::zstd_like::decompress(&packed).unwrap(), data);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bitio;
+pub mod deflate;
+pub mod error;
+pub mod huffman;
+pub mod lz77;
+pub mod zstd_like;
+
+pub use error::LosslessError;

@@ -1,0 +1,520 @@
+//! The compressor abstraction: one trait over SZ, ZFP, and the lossless
+//! pipelines, mirroring how LibPressio normalizes compressor interactions
+//! for the paper's experiments (§4.1.1).
+
+use std::fmt;
+
+use crate::metrics::BoundSpec;
+
+/// A borrowed input dataset (row-major f32 grid).
+#[derive(Debug, Clone, Copy)]
+pub struct Dataset<'a> {
+    /// Values, row-major.
+    pub data: &'a [f32],
+    /// Extents, slowest-varying first (1–3 dims).
+    pub dims: &'a [usize],
+}
+
+/// A decompressed dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedDataset {
+    /// Values, row-major.
+    pub data: Vec<f32>,
+    /// Extents, slowest-varying first.
+    pub dims: Vec<usize>,
+}
+
+/// Unified error type; classification drives the fault study's return-status
+/// taxonomy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PressioError {
+    /// The codec rejected the stream/configuration (Compressor Exception).
+    Codec(String),
+    /// The decode exceeded its work budget (Timeout).
+    Timeout {
+        /// Work demanded by the (possibly corrupt) stream.
+        demanded: u64,
+        /// Budget allowed.
+        budget: u64,
+    },
+}
+
+impl PressioError {
+    /// True for the Timeout class.
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, PressioError::Timeout { .. })
+    }
+}
+
+impl fmt::Display for PressioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PressioError::Codec(d) => write!(f, "compressor exception: {d}"),
+            PressioError::Timeout { demanded, budget } => {
+                write!(f, "decode timeout: work {demanded} over budget {budget}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PressioError {}
+
+impl From<arc_sz::SzError> for PressioError {
+    fn from(e: arc_sz::SzError) -> Self {
+        match e {
+            arc_sz::SzError::WorkBudgetExceeded { demanded, budget } => {
+                PressioError::Timeout { demanded, budget }
+            }
+            other => PressioError::Codec(other.to_string()),
+        }
+    }
+}
+
+impl From<arc_zfp::ZfpError> for PressioError {
+    fn from(e: arc_zfp::ZfpError) -> Self {
+        match e {
+            arc_zfp::ZfpError::WorkBudgetExceeded { demanded, budget } => {
+                PressioError::Timeout { demanded, budget }
+            }
+            other => PressioError::Codec(other.to_string()),
+        }
+    }
+}
+
+/// The LibPressio-like compressor interface.
+pub trait Compressor: Send + Sync {
+    /// Stable identifier, e.g. `"sz-abs"`.
+    fn name(&self) -> String;
+
+    /// Compress a dataset into a self-describing byte stream.
+    fn compress(&self, ds: &Dataset<'_>) -> Result<Vec<u8>, PressioError>;
+
+    /// Decompress, limiting output to `max_elements` (the Timeout guard the
+    /// fault harness relies on).
+    fn decompress_with_limit(
+        &self,
+        bytes: &[u8],
+        max_elements: u64,
+    ) -> Result<DecodedDataset, PressioError>;
+
+    /// Decompress with a generous default limit.
+    fn decompress(&self, bytes: &[u8]) -> Result<DecodedDataset, PressioError> {
+        self.decompress_with_limit(bytes, 1 << 31)
+    }
+
+    /// The bound this compressor promises on decompressed values, if any.
+    /// Used by the fault study to count incorrect elements.
+    fn bound_spec(&self) -> Option<BoundSpec>;
+}
+
+/// The five paper configurations plus the lossless baselines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CompressorSpec {
+    /// SZ with an absolute bound.
+    SzAbs(f64),
+    /// SZ with a point-wise relative bound.
+    SzPwRel(f64),
+    /// SZ with a PSNR target.
+    SzPsnr(f64),
+    /// ZFP accuracy mode.
+    ZfpAcc(f64),
+    /// ZFP fixed-rate mode (bits per value).
+    ZfpRate(f64),
+    /// DEFLATE-like lossless ("GZip-like").
+    GzipLike,
+    /// ZStd-like lossless.
+    ZstdLike,
+}
+
+impl CompressorSpec {
+    /// Stable identifier.
+    pub fn name(&self) -> String {
+        match self {
+            CompressorSpec::SzAbs(e) => format!("sz-abs({e})"),
+            CompressorSpec::SzPwRel(e) => format!("sz-pwrel({e})"),
+            CompressorSpec::SzPsnr(p) => format!("sz-psnr({p})"),
+            CompressorSpec::ZfpAcc(e) => format!("zfp-acc({e})"),
+            CompressorSpec::ZfpRate(r) => format!("zfp-rate({r})"),
+            CompressorSpec::GzipLike => "gzip-like".into(),
+            CompressorSpec::ZstdLike => "zstd-like".into(),
+        }
+    }
+
+    /// Family label without the parameter (matches the paper's mode names).
+    pub fn family(&self) -> &'static str {
+        match self {
+            CompressorSpec::SzAbs(_) => "SZ-ABS",
+            CompressorSpec::SzPwRel(_) => "SZ-PWREL",
+            CompressorSpec::SzPsnr(_) => "SZ-PSNR",
+            CompressorSpec::ZfpAcc(_) => "ZFP-ACC",
+            CompressorSpec::ZfpRate(_) => "ZFP-Rate",
+            CompressorSpec::GzipLike => "GZip-like",
+            CompressorSpec::ZstdLike => "ZStd-like",
+        }
+    }
+
+    /// Same mode with a different scalar parameter (bound-tuning helper).
+    pub fn with_param(&self, p: f64) -> CompressorSpec {
+        match self {
+            CompressorSpec::SzAbs(_) => CompressorSpec::SzAbs(p),
+            CompressorSpec::SzPwRel(_) => CompressorSpec::SzPwRel(p),
+            CompressorSpec::SzPsnr(_) => CompressorSpec::SzPsnr(p),
+            CompressorSpec::ZfpAcc(_) => CompressorSpec::ZfpAcc(p),
+            CompressorSpec::ZfpRate(_) => CompressorSpec::ZfpRate(p),
+            other => *other,
+        }
+    }
+
+    /// Instantiate the compressor.
+    pub fn build(&self) -> Box<dyn Compressor> {
+        match *self {
+            CompressorSpec::SzAbs(e) => Box::new(SzCompressor::new(arc_sz::ErrorBound::Abs(e))),
+            CompressorSpec::SzPwRel(e) => {
+                Box::new(SzCompressor::new(arc_sz::ErrorBound::PwRel(e)))
+            }
+            CompressorSpec::SzPsnr(p) => Box::new(SzCompressor::new(arc_sz::ErrorBound::Psnr(p))),
+            CompressorSpec::ZfpAcc(e) => Box::new(ZfpCompressor { mode: arc_zfp::ZfpMode::FixedAccuracy(e) }),
+            CompressorSpec::ZfpRate(r) => Box::new(ZfpCompressor { mode: arc_zfp::ZfpMode::FixedRate(r) }),
+            CompressorSpec::GzipLike => Box::new(LosslessCompressor { zstd: false }),
+            CompressorSpec::ZstdLike => Box::new(LosslessCompressor { zstd: true }),
+        }
+    }
+}
+
+/// SZ adapter.
+pub struct SzCompressor {
+    cfg: arc_sz::SzConfig,
+}
+
+impl SzCompressor {
+    /// Create with a bound and SZ's default quantization bins.
+    pub fn new(bound: arc_sz::ErrorBound) -> SzCompressor {
+        SzCompressor { cfg: arc_sz::SzConfig { bound, ..Default::default() } }
+    }
+}
+
+impl Compressor for SzCompressor {
+    fn name(&self) -> String {
+        match self.cfg.bound {
+            arc_sz::ErrorBound::Abs(e) => format!("sz-abs({e})"),
+            arc_sz::ErrorBound::PwRel(e) => format!("sz-pwrel({e})"),
+            arc_sz::ErrorBound::Psnr(p) => format!("sz-psnr({p})"),
+        }
+    }
+
+    fn compress(&self, ds: &Dataset<'_>) -> Result<Vec<u8>, PressioError> {
+        Ok(arc_sz::compress(ds.data, ds.dims, &self.cfg)?)
+    }
+
+    fn decompress_with_limit(
+        &self,
+        bytes: &[u8],
+        max_elements: u64,
+    ) -> Result<DecodedDataset, PressioError> {
+        let out = arc_sz::decompress_with_limits(
+            bytes,
+            &arc_sz::DecodeLimits { max_elements },
+        )?;
+        Ok(DecodedDataset { data: out.data, dims: out.dims })
+    }
+
+    fn bound_spec(&self) -> Option<BoundSpec> {
+        match self.cfg.bound {
+            arc_sz::ErrorBound::Abs(e) => Some(BoundSpec::Abs(e)),
+            arc_sz::ErrorBound::PwRel(e) => Some(BoundSpec::PwRel(e)),
+            // PSNR does not bound each value (§4.1.3 collects no
+            // incorrect-element metric for SZ-PSNR).
+            arc_sz::ErrorBound::Psnr(_) => None,
+        }
+    }
+}
+
+/// ZFP adapter.
+pub struct ZfpCompressor {
+    /// Mode to run.
+    pub mode: arc_zfp::ZfpMode,
+}
+
+impl Compressor for ZfpCompressor {
+    fn name(&self) -> String {
+        match self.mode {
+            arc_zfp::ZfpMode::FixedAccuracy(e) => format!("zfp-acc({e})"),
+            arc_zfp::ZfpMode::FixedRate(r) => format!("zfp-rate({r})"),
+        }
+    }
+
+    fn compress(&self, ds: &Dataset<'_>) -> Result<Vec<u8>, PressioError> {
+        Ok(arc_zfp::compress(ds.data, ds.dims, self.mode)?)
+    }
+
+    fn decompress_with_limit(
+        &self,
+        bytes: &[u8],
+        max_elements: u64,
+    ) -> Result<DecodedDataset, PressioError> {
+        let out = arc_zfp::decompress_with_limits(
+            bytes,
+            &arc_zfp::DecodeLimits { max_elements },
+        )?;
+        Ok(DecodedDataset { data: out.data, dims: out.dims })
+    }
+
+    fn bound_spec(&self) -> Option<BoundSpec> {
+        match self.mode {
+            arc_zfp::ZfpMode::FixedAccuracy(e) => Some(BoundSpec::Abs(e)),
+            // Fixed rate cannot bound error (§2.1.2); Fig 3d instead counts
+            // elements against the chosen evaluation bound externally.
+            arc_zfp::ZfpMode::FixedRate(_) => None,
+        }
+    }
+}
+
+/// Lossless adapter: compresses the raw f32 bytes with a tiny dims header.
+pub struct LosslessCompressor {
+    /// True → zstd-like, false → deflate-like.
+    pub zstd: bool,
+}
+
+impl Compressor for LosslessCompressor {
+    fn name(&self) -> String {
+        if self.zstd { "zstd-like".into() } else { "gzip-like".into() }
+    }
+
+    fn compress(&self, ds: &Dataset<'_>) -> Result<Vec<u8>, PressioError> {
+        if ds.dims.is_empty() || ds.dims.len() > 3 {
+            return Err(PressioError::Codec(format!("invalid dims {:?}", ds.dims)));
+        }
+        let n: usize = ds.dims.iter().product();
+        if n != ds.data.len() {
+            return Err(PressioError::Codec("dims/data mismatch".into()));
+        }
+        let mut raw = Vec::with_capacity(4 * ds.data.len() + 16);
+        raw.push(ds.dims.len() as u8);
+        for &d in ds.dims {
+            arc_lossless::bitio::write_varint(&mut raw, d as u64);
+        }
+        for &x in ds.data {
+            raw.extend_from_slice(&x.to_le_bytes());
+        }
+        Ok(if self.zstd {
+            arc_lossless::zstd_like::compress(&raw)
+        } else {
+            arc_lossless::deflate::compress(&raw)
+        })
+    }
+
+    fn decompress_with_limit(
+        &self,
+        bytes: &[u8],
+        max_elements: u64,
+    ) -> Result<DecodedDataset, PressioError> {
+        let raw = if self.zstd {
+            arc_lossless::zstd_like::decompress(bytes)
+        } else {
+            arc_lossless::deflate::decompress(bytes)
+        }
+        .map_err(|e| PressioError::Codec(e.to_string()))?;
+        if raw.is_empty() {
+            return Err(PressioError::Codec("empty payload".into()));
+        }
+        let ndims = raw[0] as usize;
+        if ndims == 0 || ndims > 3 {
+            return Err(PressioError::Codec(format!("bad dimensionality {ndims}")));
+        }
+        let mut pos = 1usize;
+        let mut dims = Vec::with_capacity(ndims);
+        let mut product = 1u64;
+        for _ in 0..ndims {
+            let d = arc_lossless::bitio::read_varint(&raw, &mut pos)
+                .map_err(|e| PressioError::Codec(e.to_string()))?;
+            product = product
+                .checked_mul(d)
+                .ok_or_else(|| PressioError::Codec("dims overflow".into()))?;
+            dims.push(d as usize);
+        }
+        if product > max_elements {
+            return Err(PressioError::Timeout { demanded: product, budget: max_elements });
+        }
+        let expected = product as usize * 4;
+        if raw.len() - pos != expected {
+            return Err(PressioError::Codec(format!(
+                "payload {} bytes, dims demand {expected}",
+                raw.len() - pos
+            )));
+        }
+        let data: Vec<f32> = raw[pos..]
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        Ok(DecodedDataset { data, dims })
+    }
+
+    fn bound_spec(&self) -> Option<BoundSpec> {
+        Some(BoundSpec::Abs(0.0)) // lossless: any deviation is incorrect
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field(n: usize) -> Vec<f32> {
+        (0..n).map(|i| (i as f32 * 0.013).sin() * 4.0).collect()
+    }
+
+    #[test]
+    fn all_specs_round_trip() {
+        let data = field(40 * 40);
+        let dims = [40usize, 40];
+        let ds = Dataset { data: &data, dims: &dims };
+        let specs = [
+            CompressorSpec::SzAbs(0.01),
+            CompressorSpec::SzPwRel(0.05),
+            CompressorSpec::SzPsnr(80.0),
+            CompressorSpec::ZfpAcc(0.01),
+            CompressorSpec::ZfpRate(8.0),
+            CompressorSpec::GzipLike,
+            CompressorSpec::ZstdLike,
+        ];
+        for spec in specs {
+            let c = spec.build();
+            let packed = c.compress(&ds).unwrap();
+            let out = c.decompress(&packed).unwrap();
+            assert_eq!(out.dims, dims.to_vec(), "{}", spec.name());
+            assert_eq!(out.data.len(), data.len(), "{}", spec.name());
+            if let Some(bound) = c.bound_spec() {
+                let bad = crate::metrics::incorrect_elements(&data, &out.data, bound);
+                assert_eq!(bad, 0, "{} violated its own bound", spec.name());
+            }
+        }
+    }
+
+    #[test]
+    fn lossless_is_bit_exact() {
+        let data = field(500);
+        let ds = Dataset { data: &data, dims: &[500] };
+        for spec in [CompressorSpec::GzipLike, CompressorSpec::ZstdLike] {
+            let c = spec.build();
+            let out = c.decompress(&c.compress(&ds).unwrap()).unwrap();
+            assert_eq!(out.data, data);
+        }
+    }
+
+    #[test]
+    fn timeout_classification_propagates() {
+        let data = field(64 * 64);
+        let ds = Dataset { data: &data, dims: &[64, 64] };
+        for spec in [
+            CompressorSpec::SzAbs(0.01),
+            CompressorSpec::ZfpAcc(0.01),
+            CompressorSpec::ZstdLike,
+        ] {
+            let c = spec.build();
+            let packed = c.compress(&ds).unwrap();
+            let err = c.decompress_with_limit(&packed, 16).unwrap_err();
+            assert!(err.is_timeout(), "{}: {err}", spec.name());
+        }
+    }
+
+    #[test]
+    fn spec_name_and_family() {
+        assert_eq!(CompressorSpec::SzAbs(0.1).family(), "SZ-ABS");
+        assert_eq!(CompressorSpec::ZfpRate(8.0).family(), "ZFP-Rate");
+        assert!(CompressorSpec::SzPwRel(0.1).name().contains("pwrel"));
+    }
+
+    #[test]
+    fn with_param_rebinds() {
+        let s = CompressorSpec::ZfpAcc(0.1).with_param(0.5);
+        assert_eq!(s, CompressorSpec::ZfpAcc(0.5));
+        assert_eq!(CompressorSpec::GzipLike.with_param(9.0), CompressorSpec::GzipLike);
+    }
+
+    #[test]
+    fn corrupt_streams_surface_as_exceptions_not_panics() {
+        let data = field(32 * 32);
+        let ds = Dataset { data: &data, dims: &[32, 32] };
+        for spec in [CompressorSpec::SzAbs(0.1), CompressorSpec::ZfpRate(8.0)] {
+            let c = spec.build();
+            let packed = c.compress(&ds).unwrap();
+            for i in (0..packed.len()).step_by(11) {
+                let mut bad = packed.clone();
+                bad[i] ^= 0x80;
+                let _ = c.decompress_with_limit(&bad, 1 << 20);
+            }
+        }
+    }
+}
+
+impl CompressorSpec {
+    /// Parse a textual spec: `"<family>"` or `"<family>:<param>"`, e.g.
+    /// `sz-abs:0.1`, `sz-pwrel:0.01`, `sz-psnr:90`, `zfp-acc:1e-3`,
+    /// `zfp-rate:8`, `gzip-like`, `zstd-like`. This is the "registry by
+    /// name" LibPressio offers; the CLI-facing entry point of the
+    /// abstraction layer.
+    pub fn parse(spec: &str) -> Result<CompressorSpec, PressioError> {
+        let (family, param) = match spec.split_once(':') {
+            Some((f, p)) => (f, Some(p)),
+            None => (spec, None),
+        };
+        let num = |what: &str| -> Result<f64, PressioError> {
+            param
+                .ok_or_else(|| PressioError::Codec(format!("{family} needs {what}, e.g. {family}:0.1")))?
+                .parse::<f64>()
+                .map_err(|_| PressioError::Codec(format!("bad {what} in {spec:?}")))
+        };
+        let parsed = match family {
+            "sz-abs" => CompressorSpec::SzAbs(num("an error bound")?),
+            "sz-pwrel" => CompressorSpec::SzPwRel(num("a relative bound")?),
+            "sz-psnr" => CompressorSpec::SzPsnr(num("a PSNR target")?),
+            "zfp-acc" => CompressorSpec::ZfpAcc(num("a tolerance")?),
+            "zfp-rate" => CompressorSpec::ZfpRate(num("a rate")?),
+            "gzip-like" => CompressorSpec::GzipLike,
+            "zstd-like" => CompressorSpec::ZstdLike,
+            other => {
+                return Err(PressioError::Codec(format!(
+                    "unknown compressor {other:?}; known: sz-abs, sz-pwrel, sz-psnr, zfp-acc, zfp-rate, gzip-like, zstd-like"
+                )))
+            }
+        };
+        if param.is_some() && matches!(parsed, CompressorSpec::GzipLike | CompressorSpec::ZstdLike) {
+            return Err(PressioError::Codec(format!("{family} takes no parameter")));
+        }
+        Ok(parsed)
+    }
+}
+
+#[cfg(test)]
+mod parse_tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_family() {
+        assert_eq!(CompressorSpec::parse("sz-abs:0.1").unwrap(), CompressorSpec::SzAbs(0.1));
+        assert_eq!(CompressorSpec::parse("sz-pwrel:1e-2").unwrap(), CompressorSpec::SzPwRel(0.01));
+        assert_eq!(CompressorSpec::parse("sz-psnr:90").unwrap(), CompressorSpec::SzPsnr(90.0));
+        assert_eq!(CompressorSpec::parse("zfp-acc:0.5").unwrap(), CompressorSpec::ZfpAcc(0.5));
+        assert_eq!(CompressorSpec::parse("zfp-rate:8").unwrap(), CompressorSpec::ZfpRate(8.0));
+        assert_eq!(CompressorSpec::parse("gzip-like").unwrap(), CompressorSpec::GzipLike);
+        assert_eq!(CompressorSpec::parse("zstd-like").unwrap(), CompressorSpec::ZstdLike);
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        assert!(CompressorSpec::parse("sz-abs").is_err());
+        assert!(CompressorSpec::parse("sz-abs:nan?").is_err());
+        assert!(CompressorSpec::parse("mystery:1").is_err());
+        assert!(CompressorSpec::parse("zstd-like:3").is_err());
+    }
+
+    #[test]
+    fn parsed_specs_build_and_round_trip() {
+        let data: Vec<f32> = (0..256).map(|i| (i as f32 * 0.1).sin()).collect();
+        let ds = Dataset { data: &data, dims: &[16, 16] };
+        for spec in ["sz-abs:0.01", "zfp-rate:8", "zstd-like"] {
+            let c = CompressorSpec::parse(spec).unwrap().build();
+            let out = c.decompress(&c.compress(&ds).unwrap()).unwrap();
+            assert_eq!(out.data.len(), 256, "{spec}");
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # arc-pressio — compressor abstraction layer
+//!
+//! The LibPressio stand-in (§4.1.1 of the ARC paper, [Underwood 2020]):
+//! a single [`Compressor`] trait normalizing the SZ-like and ZFP-like lossy
+//! codecs and the lossless pipelines, the data-integrity metrics the fault
+//! study collects (§4.1.3), and a bound-tuning search used to hit target
+//! compression ratios (§4.4).
+//!
+//! ```
+//! use arc_pressio::{CompressorSpec, Dataset};
+//!
+//! let data: Vec<f32> = (0..64 * 64).map(|i| (i as f32 * 0.01).sin()).collect();
+//! let ds = Dataset { data: &data, dims: &[64, 64] };
+//! let sz = CompressorSpec::SzAbs(1e-3).build();
+//! let packed = sz.compress(&ds).unwrap();
+//! let out = sz.decompress(&packed).unwrap();
+//! assert_eq!(out.dims, vec![64, 64]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod compressors;
+pub mod metrics;
+pub mod tuning;
+
+pub use compressors::{
+    Compressor, CompressorSpec, Dataset, DecodedDataset, LosslessCompressor, PressioError,
+    SzCompressor, ZfpCompressor,
+};
+pub use metrics::{
+    compression_ratio, incorrect_elements, integrity_report, max_abs_diff, percent_incorrect,
+    psnr, rmse, value_range, BoundSpec, IntegrityReport, RunningStats,
+};
+pub use tuning::{tune_for_ratio, TunedBound};

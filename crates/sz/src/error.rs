@@ -1,0 +1,46 @@
+//! Error type for the SZ-like codec.
+
+use arc_lossless::LosslessError;
+use std::fmt;
+
+/// Decompression and configuration failures.
+///
+/// The fault-injection harness maps these onto the paper's return-status
+/// taxonomy (§4.2): [`SzError::Malformed`] and [`SzError::Lossless`] are
+/// *Compressor Exception*; [`SzError::WorkBudgetExceeded`] is *Timeout*
+/// (corrupted loop-controlling metadata sent the decoder into implausible
+/// amounts of work).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SzError {
+    /// Structurally invalid stream or invalid configuration.
+    Malformed(String),
+    /// The back-end lossless stage failed.
+    Lossless(LosslessError),
+    /// The decode would exceed its work budget — the Timeout analogue.
+    WorkBudgetExceeded {
+        /// Work units the stream demanded.
+        demanded: u64,
+        /// Budget the caller allowed.
+        budget: u64,
+    },
+}
+
+impl fmt::Display for SzError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SzError::Malformed(d) => write!(f, "malformed SZ stream: {d}"),
+            SzError::Lossless(e) => write!(f, "SZ lossless stage: {e}"),
+            SzError::WorkBudgetExceeded { demanded, budget } => {
+                write!(f, "SZ decode work {demanded} exceeds budget {budget} (timeout)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SzError {}
+
+impl From<LosslessError> for SzError {
+    fn from(e: LosslessError) -> Self {
+        SzError::Lossless(e)
+    }
+}

@@ -1,0 +1,150 @@
+//! Error-bounding modes of the SZ-like compressor.
+//!
+//! The paper exercises three SZ modes (§2.1.1): absolute (SZ-ABS),
+//! point-wise relative (SZ-PWREL), and PSNR-targeted (SZ-PSNR). Internally
+//! all three reduce to an absolute bound: PWREL compresses in the log domain
+//! (SZ 2.x's own strategy) and PSNR derives an absolute bound from the data
+//! range and the uniform-quantization noise model.
+
+use crate::error::SzError;
+
+/// User-facing error-bound selection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ErrorBound {
+    /// Absolute: every value may deviate at most `ε`.
+    Abs(f64),
+    /// Point-wise relative: value `x` may deviate at most `ε·|x|`.
+    PwRel(f64),
+    /// Peak signal-to-noise ratio target in dB.
+    Psnr(f64),
+}
+
+impl ErrorBound {
+    /// Validate user input.
+    pub fn validate(&self) -> Result<(), SzError> {
+        let ok = match *self {
+            ErrorBound::Abs(e) => e.is_finite() && e > 0.0,
+            ErrorBound::PwRel(e) => e.is_finite() && e > 0.0 && e < 1.0e6,
+            ErrorBound::Psnr(p) => p.is_finite() && p > 0.0,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(SzError::Malformed(format!("invalid error bound {self:?}")))
+        }
+    }
+
+    /// Stable discriminant for the stream header.
+    pub fn tag(&self) -> u8 {
+        match self {
+            ErrorBound::Abs(_) => 0,
+            ErrorBound::PwRel(_) => 1,
+            ErrorBound::Psnr(_) => 2,
+        }
+    }
+
+    /// The bound's scalar parameter.
+    pub fn param(&self) -> f64 {
+        match *self {
+            ErrorBound::Abs(e) => e,
+            ErrorBound::PwRel(e) => e,
+            ErrorBound::Psnr(p) => p,
+        }
+    }
+
+    /// Reconstruct from header fields.
+    pub fn from_tag(tag: u8, param: f64) -> Result<ErrorBound, SzError> {
+        let b = match tag {
+            0 => ErrorBound::Abs(param),
+            1 => ErrorBound::PwRel(param),
+            2 => ErrorBound::Psnr(param),
+            _ => return Err(SzError::Malformed(format!("unknown error-bound tag {tag}"))),
+        };
+        b.validate()?;
+        Ok(b)
+    }
+}
+
+/// The internal plan the codec executes for a given mode and dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundPlan {
+    /// Absolute bound applied in the (possibly transformed) domain.
+    pub abs_eb: f64,
+    /// Whether values are compressed as `ln(|x|)` with sign/zero side data.
+    pub log_domain: bool,
+}
+
+/// Resolve a user bound against the dataset statistics.
+///
+/// * ABS uses `ε` directly.
+/// * PWREL maps to an absolute bound of `ln(1 + ε)` in the log domain, which
+///   guarantees `|x̂ − x| ≤ ε·|x|`.
+/// * PSNR computes the bound from the value range: uniform error in
+///   `[−e, e]` has RMSE `e/√3`, so a target PSNR `P` over range `R` permits
+///   `e = √3 · R · 10^(−P/20)`.
+pub fn resolve(bound: ErrorBound, data_min: f64, data_max: f64) -> Result<BoundPlan, SzError> {
+    bound.validate()?;
+    match bound {
+        ErrorBound::Abs(e) => Ok(BoundPlan { abs_eb: e, log_domain: false }),
+        ErrorBound::PwRel(e) => Ok(BoundPlan { abs_eb: (1.0 + e).ln(), log_domain: true }),
+        ErrorBound::Psnr(p) => {
+            let range = (data_max - data_min).abs();
+            let range = if range > 0.0 { range } else { data_max.abs().max(1.0) * 1e-9 };
+            let rmse_target = range / 10f64.powf(p / 20.0);
+            Ok(BoundPlan { abs_eb: 3f64.sqrt() * rmse_target, log_domain: false })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(ErrorBound::Abs(0.1).validate().is_ok());
+        assert!(ErrorBound::Abs(0.0).validate().is_err());
+        assert!(ErrorBound::Abs(f64::NAN).validate().is_err());
+        assert!(ErrorBound::PwRel(-0.5).validate().is_err());
+        assert!(ErrorBound::Psnr(90.0).validate().is_ok());
+        assert!(ErrorBound::Psnr(-3.0).validate().is_err());
+    }
+
+    #[test]
+    fn tag_round_trip() {
+        for b in [ErrorBound::Abs(0.25), ErrorBound::PwRel(0.01), ErrorBound::Psnr(64.0)] {
+            let r = ErrorBound::from_tag(b.tag(), b.param()).unwrap();
+            assert_eq!(r, b);
+        }
+        assert!(ErrorBound::from_tag(9, 1.0).is_err());
+    }
+
+    #[test]
+    fn abs_passthrough() {
+        let p = resolve(ErrorBound::Abs(0.1), -5.0, 5.0).unwrap();
+        assert_eq!(p.abs_eb, 0.1);
+        assert!(!p.log_domain);
+    }
+
+    #[test]
+    fn pwrel_uses_log_domain() {
+        let p = resolve(ErrorBound::PwRel(0.1), 0.0, 1.0).unwrap();
+        assert!(p.log_domain);
+        assert!((p.abs_eb - 0.1f64.ln_1p()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn psnr_bound_scales_with_range_and_target() {
+        let a = resolve(ErrorBound::Psnr(90.0), 0.0, 1.0).unwrap().abs_eb;
+        let b = resolve(ErrorBound::Psnr(90.0), 0.0, 100.0).unwrap().abs_eb;
+        assert!((b / a - 100.0).abs() < 1e-9);
+        let c = resolve(ErrorBound::Psnr(70.0), 0.0, 1.0).unwrap().abs_eb;
+        assert!((c / a - 10.0).abs() < 1e-9, "20 dB = 10× looser bound");
+    }
+
+    #[test]
+    fn psnr_constant_data_gets_tiny_positive_bound() {
+        let p = resolve(ErrorBound::Psnr(90.0), 3.0, 3.0).unwrap();
+        assert!(p.abs_eb > 0.0);
+    }
+}

@@ -1,0 +1,370 @@
+//! Per-block coding: fixed-point conversion, negabinary mapping, and
+//! embedded bit-plane coding with group testing.
+//!
+//! This follows ZFP's published coding chain (§2.1.2 of the ARC paper):
+//! block floats are aligned to a common exponent and converted to signed
+//! fixed point, decorrelated by the lifting transform, mapped to negabinary
+//! so magnitude ordering survives bit truncation, and emitted one bit plane
+//! at a time. Within a plane, already-active coefficients are coded
+//! verbatim and the inactive suffix is unary run-length coded ("group
+//! testing"), so smooth blocks whose high-frequency coefficients are tiny
+//! cost a handful of bits per plane instead of 4^d.
+
+use arc_lossless::bitio::{BitReader, BitWriter};
+
+use crate::error::ZfpError;
+use crate::transform::{fwd_transform, inv_transform, sequency_order};
+
+/// Fixed-point precision in bits: block values are scaled so the largest
+/// magnitude sits just below 2^(PRECISION−2), leaving headroom for the
+/// transform's ≤2-bits-per-axis gain inside an `i64`.
+pub const PRECISION: i32 = 40;
+
+/// Highest bit plane the coder will touch (covers transform gain plus the
+/// negabinary expansion bit).
+pub const K_TOP: u32 = 50;
+
+const NBMASK: u64 = 0xAAAA_AAAA_AAAA_AAAA;
+
+/// Two's-complement → negabinary.
+#[inline]
+pub fn to_negabinary(x: i64) -> u64 {
+    (x as u64).wrapping_add(NBMASK) ^ NBMASK
+}
+
+/// Negabinary → two's-complement.
+#[inline]
+pub fn from_negabinary(u: u64) -> i64 {
+    ((u ^ NBMASK).wrapping_sub(NBMASK)) as i64
+}
+
+/// Exponent `e` such that `2^(e−1) ≤ |x| < 2^e` for the largest magnitude,
+/// i.e. the frexp exponent of `max_abs`.
+#[inline]
+pub fn exponent_of(max_abs: f64) -> i32 {
+    debug_assert!(max_abs > 0.0 && max_abs.is_finite());
+    ((max_abs.to_bits() >> 52) & 0x7FF) as i32 - 1022
+}
+
+/// Convert a block of floats to fixed point against exponent `emax`;
+/// returns `q = round(x · 2^S)` with `S = PRECISION − 2 − emax`.
+pub fn to_fixed_point(block: &[f32], emax: i32, out: &mut [i64]) {
+    let scale = (2f64).powi(PRECISION - 2 - emax);
+    for (q, &x) in out.iter_mut().zip(block) {
+        *q = (x as f64 * scale).round() as i64;
+    }
+}
+
+/// Convert fixed-point values back to floats.
+pub fn from_fixed_point(q: &[i64], emax: i32, out: &mut [f32]) {
+    let scale = (2f64).powi(-(PRECISION - 2 - emax));
+    for (x, &v) in out.iter_mut().zip(q) {
+        *x = (v as f64 * scale) as f32;
+    }
+}
+
+/// Encode bit planes `kmax ..= kmin` (MSB first) of negabinary coefficients
+/// already permuted into sequency order. Stops when `budget` bits have been
+/// written; returns bits actually written.
+pub fn encode_planes(
+    coeffs: &[u64],
+    kmax: u32,
+    kmin: u32,
+    budget: u64,
+    w: &mut BitWriter,
+) -> u64 {
+    let size = coeffs.len();
+    debug_assert!(size <= 64);
+    let mut left = budget;
+    let mut n = 0usize;
+    let mut k = kmax as i64;
+    while k >= kmin as i64 && left > 0 {
+        let mut x: u64 = 0;
+        for (i, &c) in coeffs.iter().enumerate() {
+            x |= ((c >> k) & 1) << i;
+        }
+        // Verbatim value bits of the active prefix.
+        let mut i = 0usize;
+        while i < n && left > 0 {
+            w.write_bit(x & 1 == 1);
+            left -= 1;
+            x >>= 1;
+            i += 1;
+        }
+        if i < n {
+            break;
+        }
+        // Group-tested unary coding of the inactive suffix.
+        'outer: while n < size && left > 0 {
+            let any = x != 0;
+            w.write_bit(any);
+            left -= 1;
+            if !any {
+                break;
+            }
+            loop {
+                if n == size - 1 {
+                    // Only one coefficient remains and the group bit said it
+                    // is set — implicit, no bit spent.
+                    x >>= 1;
+                    n += 1;
+                    break;
+                }
+                if left == 0 {
+                    break 'outer;
+                }
+                let b = x & 1 == 1;
+                w.write_bit(b);
+                left -= 1;
+                x >>= 1;
+                n += 1;
+                if b {
+                    break;
+                }
+            }
+        }
+        k -= 1;
+    }
+    budget - left
+}
+
+/// Decode bit planes written by [`encode_planes`]; mirrors its control flow
+/// exactly (including early budget exhaustion, which simply leaves lower
+/// planes zero).
+///
+/// An exhausted bitstream reads as zero bits rather than failing: real ZFP
+/// decodes from word streams that tail off into zeros, which is what lets
+/// corrupted (desynchronized) streams keep "decoding" garbage — the
+/// behaviour behind the paper's 100%-Completed finding for ZFP (§4.2).
+pub fn decode_planes(
+    coeffs: &mut [u64],
+    kmax: u32,
+    kmin: u32,
+    budget: u64,
+    r: &mut BitReader<'_>,
+) -> Result<u64, ZfpError> {
+    let size = coeffs.len();
+    let mut left = budget;
+    let mut n = 0usize;
+    let mut k = kmax as i64;
+    let read = |left: &mut u64, r: &mut BitReader<'_>| -> bool {
+        *left -= 1;
+        r.read_bit().unwrap_or(false)
+    };
+    while k >= kmin as i64 && left > 0 {
+        let mut i = 0usize;
+        while i < n && left > 0 {
+            if read(&mut left, r) {
+                coeffs[i] |= 1u64 << k;
+            }
+            i += 1;
+        }
+        if i < n {
+            break;
+        }
+        'outer: while n < size && left > 0 {
+            let any = read(&mut left, r);
+            if !any {
+                break;
+            }
+            loop {
+                if n == size - 1 {
+                    coeffs[n] |= 1u64 << k;
+                    n += 1;
+                    break;
+                }
+                if left == 0 {
+                    break 'outer;
+                }
+                if read(&mut left, r) {
+                    coeffs[n] |= 1u64 << k;
+                    n += 1;
+                    break;
+                }
+                n += 1;
+            }
+        }
+        k -= 1;
+    }
+    Ok(budget - left)
+}
+
+/// Everything needed to code one block: the quantized/transformed
+/// coefficients in sequency order as negabinary, plus the plane range that
+/// holds information.
+pub struct BlockCoefficients {
+    /// Negabinary coefficients in sequency order.
+    pub nb: Vec<u64>,
+    /// Highest set bit plane across all coefficients.
+    pub kmax: u32,
+}
+
+/// Run the forward pipeline on a padded float block: fixed point →
+/// transform → sequency reorder → negabinary.
+pub fn forward_block(block: &[f32], emax: i32, d: usize) -> BlockCoefficients {
+    let n = block.len();
+    let mut q = vec![0i64; n];
+    to_fixed_point(block, emax, &mut q);
+    fwd_transform(&mut q, d);
+    let order = sequency_order(d);
+    let mut nb = vec![0u64; n];
+    let mut all = 0u64;
+    for (slot, &src) in order.iter().enumerate() {
+        let v = to_negabinary(q[src]);
+        nb[slot] = v;
+        all |= v;
+    }
+    let kmax = if all == 0 { 0 } else { 63 - all.leading_zeros() };
+    debug_assert!(kmax <= K_TOP, "kmax {kmax} exceeds K_TOP");
+    BlockCoefficients { nb, kmax }
+}
+
+/// Run the inverse pipeline: negabinary (sequency order) → transform⁻¹ →
+/// floats.
+pub fn inverse_block(nb: &[u64], emax: i32, d: usize, out: &mut [f32]) {
+    let n = nb.len();
+    let order = sequency_order(d);
+    let mut q = vec![0i64; n];
+    for (slot, &dst) in order.iter().enumerate() {
+        q[dst] = from_negabinary(nb[slot]);
+    }
+    inv_transform(&mut q, d);
+    from_fixed_point(&q, emax, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negabinary_round_trip() {
+        for x in [-5i64, -1, 0, 1, 5, i64::MAX / 4, i64::MIN / 4, 1 << 45, -(1 << 45)] {
+            assert_eq!(from_negabinary(to_negabinary(x)), x);
+        }
+        for i in -2000..2000i64 {
+            assert_eq!(from_negabinary(to_negabinary(i * 31)), i * 31);
+        }
+    }
+
+    #[test]
+    fn negabinary_magnitude_tracks_bits() {
+        // Small magnitudes occupy low bit planes only.
+        for x in -100i64..=100 {
+            let nb = to_negabinary(x);
+            assert!(nb < 1 << 9, "x={x} nb={nb:#x}");
+        }
+    }
+
+    #[test]
+    fn exponent_of_matches_frexp_semantics() {
+        assert_eq!(exponent_of(1.0), 1); // 1.0 = 0.5 · 2^1
+        assert_eq!(exponent_of(0.5), 0);
+        assert_eq!(exponent_of(0.75), 0);
+        assert_eq!(exponent_of(2.0), 2);
+        assert_eq!(exponent_of(100.0), 7); // 64 ≤ 100 < 128
+        for e in [-100i32, -10, 0, 10, 100] {
+            let x = (2f64).powi(e) * 0.7;
+            let got = exponent_of(x);
+            assert!((2f64).powi(got - 1) <= x && x < (2f64).powi(got), "e={e} got={got}");
+        }
+    }
+
+    #[test]
+    fn fixed_point_round_trip_within_half_ulp() {
+        let block: Vec<f32> = (0..16).map(|i| (i as f32 * 0.37).sin() * 50.0).collect();
+        let emax = exponent_of(50.0);
+        let mut q = vec![0i64; 16];
+        to_fixed_point(&block, emax, &mut q);
+        let mut back = vec![0.0f32; 16];
+        from_fixed_point(&q, emax, &mut back);
+        let res = (2f64).powi(emax - (PRECISION - 2));
+        for (a, b) in block.iter().zip(&back) {
+            assert!((*a as f64 - *b as f64).abs() <= res, "{a} vs {b}");
+        }
+    }
+
+    fn plane_round_trip(nb: &[u64], kmax: u32, kmin: u32, budget: u64) -> Vec<u64> {
+        let mut w = BitWriter::new();
+        let written = encode_planes(nb, kmax, kmin, budget, &mut w);
+        assert!(written <= budget);
+        let bytes = w.into_bytes();
+        let mut out = vec![0u64; nb.len()];
+        let mut r = BitReader::new(&bytes);
+        let consumed = decode_planes(&mut out, kmax, kmin, budget, &mut r).unwrap();
+        assert_eq!(consumed, written, "encoder/decoder consumed different bit counts");
+        out
+    }
+
+    #[test]
+    fn planes_lossless_with_unlimited_budget() {
+        let patterns: Vec<Vec<u64>> = vec![
+            vec![0; 16],
+            vec![1; 16],
+            (0..16).map(|i| (i as u64) << 3).collect(),
+            (0..16).map(|i| (i as u64).wrapping_mul(0x9E37) & 0xFFFF).collect(),
+            (0..64).map(|i| if i == 63 { 0xABCDE } else { 0 }).collect(),
+        ];
+        for nb in patterns {
+            let kmax = 40;
+            let out = plane_round_trip(&nb, kmax, 0, u64::MAX / 2);
+            assert_eq!(out, nb);
+        }
+    }
+
+    #[test]
+    fn truncated_kmin_keeps_high_planes() {
+        let nb: Vec<u64> = (0..16).map(|i| (i as u64) * 0x111).collect();
+        let kmin = 6;
+        let out = plane_round_trip(&nb, 20, kmin, u64::MAX / 2);
+        for (a, b) in nb.iter().zip(&out) {
+            assert_eq!(a >> kmin, b >> kmin, "high planes must survive");
+            assert_eq!(b & ((1 << kmin) - 1), 0, "low planes must be zero");
+        }
+    }
+
+    #[test]
+    fn every_budget_value_round_trips_consistently() {
+        // The decoder must mirror the encoder for *any* cutoff point.
+        let nb: Vec<u64> = (0..16).map(|i| ((i as u64) << 5) ^ (i as u64 * 3)).collect();
+        let full = {
+            let mut w = BitWriter::new();
+            encode_planes(&nb, 24, 0, u64::MAX / 2, &mut w)
+        };
+        for budget in 0..=full + 4 {
+            let out = plane_round_trip(&nb, 24, 0, budget);
+            // Decoded coefficients can only lose low-order information.
+            for (a, b) in nb.iter().zip(&out) {
+                // Each decoded bit must exist in the original.
+                assert_eq!(b & !a, 0, "budget {budget}: decoder invented bit");
+            }
+        }
+    }
+
+    #[test]
+    fn group_testing_saves_bits_on_sparse_planes() {
+        // One big DC coefficient, everything else zero: cost must be far
+        // below the raw 4^d bits per plane.
+        let mut nb = vec![0u64; 64];
+        nb[0] = 0xF_FFFF;
+        let mut w = BitWriter::new();
+        let written = encode_planes(&nb, 30, 0, u64::MAX / 2, &mut w);
+        let raw = 31 * 64;
+        assert!(written < raw / 4, "written {written} vs raw {raw}");
+    }
+
+    #[test]
+    fn forward_inverse_block_round_trip() {
+        for d in 1..=3usize {
+            let n = 4usize.pow(d as u32);
+            let block: Vec<f32> = (0..n).map(|i| ((i as f32) * 0.21).cos() * 8.0 + 1.0).collect();
+            let emax = exponent_of(9.5);
+            let bc = forward_block(&block, emax, d);
+            let mut out = vec![0.0f32; n];
+            inverse_block(&bc.nb, emax, d, &mut out);
+            let res = (2f64).powi(emax - (PRECISION - 2 - 2 * d as i32));
+            for (a, b) in block.iter().zip(&out) {
+                assert!((*a as f64 - *b as f64).abs() <= res, "d={d}: {a} vs {b}");
+            }
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Error type for the ZFP-like codec.
+
+use std::fmt;
+
+/// Decompression and configuration failures. The fault harness maps
+/// [`ZfpError::Malformed`]/[`ZfpError::Truncated`] to *Compressor Exception*
+/// and [`ZfpError::WorkBudgetExceeded`] to *Timeout* (§4.2 of the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ZfpError {
+    /// Structurally invalid stream or configuration.
+    Malformed(String),
+    /// Stream ended before the declared content.
+    Truncated(String),
+    /// Decode would exceed the caller's work budget (Timeout analogue).
+    WorkBudgetExceeded {
+        /// Work units demanded by the (possibly corrupt) header.
+        demanded: u64,
+        /// Allowed budget.
+        budget: u64,
+    },
+}
+
+impl fmt::Display for ZfpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ZfpError::Malformed(d) => write!(f, "malformed ZFP stream: {d}"),
+            ZfpError::Truncated(d) => write!(f, "truncated ZFP stream: {d}"),
+            ZfpError::WorkBudgetExceeded { demanded, budget } => {
+                write!(f, "ZFP decode work {demanded} exceeds budget {budget} (timeout)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ZfpError {}

@@ -1,0 +1,69 @@
+//! §6.4 as a runnable example: derive ARC constraints from the failure
+//! profile of the machine you are running on — Cielo-like (high altitude,
+//! burst-prone) versus Hopper-like (sea level, single-bit dominated) — and
+//! see how ARC's selection changes.
+//!
+//! Run with `cargo run --release --example hpc_system_tuning`.
+
+use arc::{
+    ArcContext, ArcOptions, EncodeRequest, MemoryConstraint, SystemProfile,
+    ThroughputConstraint, TrainingOptions,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ctx = ArcContext::init(ArcOptions {
+        training: TrainingOptions {
+            sample_bytes: 512 << 10,
+            rs_sample_bytes: 128 << 10,
+            ..Default::default() // full standard configuration space
+        },
+        ..Default::default()
+    })?;
+    let data: Vec<u8> = (0..4_000_000u32).map(|i| (i.wrapping_mul(0x45d9f3b) >> 16) as u8).collect();
+
+    for system in [SystemProfile::cielo(), SystemProfile::hopper()] {
+        println!("\n{}", system.summary());
+        println!(
+            "  expected soft errors for a 30-day checkpoint: {:.3e} per MB",
+            system.errors_per_mb(30.0)
+        );
+        let request = EncodeRequest {
+            memory: MemoryConstraint::Fraction(0.5),
+            throughput: ThroughputConstraint::Any,
+            resiliency: system.recommended_resiliency(),
+        };
+        let (encoded, sel) = ctx.encode(&data, &request)?;
+        println!(
+            "  ARC selection: {} on {} threads — overhead {:.1}% ({} MB stored for {} MB of data)",
+            sel.config,
+            sel.threads,
+            sel.overhead * 100.0,
+            encoded.len() / 1_000_000,
+            data.len() / 1_000_000
+        );
+        for note in &sel.notes {
+            println!("  note: {note}");
+        }
+        // Prove the protection level: a burst for Cielo, a flip for Hopper.
+        let mut struck = encoded.clone();
+        if system.multi_bit_fraction() > 0.15 {
+            let start = struck.len() / 2;
+            for b in &mut struck[start..start + 2_000] {
+                *b ^= 0xFF; // a 2 KB burst in one DRAM device
+            }
+            println!("  injected a 2 KB burst…");
+        } else {
+            let mid = struck.len() / 2;
+            struck[mid] ^= 0x08;
+            println!("  injected a single bit flip…");
+        }
+        let (recovered, report) = ctx.decode(&struck)?;
+        assert_eq!(recovered, data);
+        println!(
+            "  recovered: {} bits / {} devices repaired",
+            report.correction.corrected_bits, report.correction.corrected_devices
+        );
+    }
+    ctx.close()?;
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Quickstart: protect any byte array with ARC in four calls — the
+//! paper's Algorithm 1.
+//!
+//! ```text
+//! arc_init();  arc_encode();  arc_decode();  arc_close();
+//! ```
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use arc::{ArcContext, ArcOptions, EncodeRequest, MemoryConstraint, ResiliencyConstraint,
+          ThroughputConstraint, TrainingOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Any uint8 byte array works; lossy-compressed output is the motivating
+    // case. Here: a synthetic compressed-looking buffer.
+    let data: Vec<u8> = (0..1_000_000u32).map(|i| (i.wrapping_mul(2654435761) >> 24) as u8).collect();
+
+    // arc_init(ARC_ANY_THREADS) — training runs once and is cached.
+    // (The training space is trimmed here so the example starts fast; drop
+    // the `training` override to train the full standard space.)
+    let ctx = ArcContext::init(ArcOptions {
+        training: TrainingOptions {
+            sample_bytes: 1 << 20,
+            rs_sample_bytes: 256 << 10,
+            space: vec![
+                arc::EccConfig::parity(8)?,
+                arc::EccConfig::secded(true),
+                arc::EccConfig::rs(223, 32)?,
+            ],
+        },
+        ..Default::default()
+    })?;
+    println!("trained {} points in {:.2}s", ctx.training_stats().points_measured,
+             ctx.training_stats().seconds);
+
+    // arc_encode(data, mem, bw, resiliency): stay under +25% storage, keep
+    // 50 MB/s, and survive one soft error per MB.
+    let request = EncodeRequest {
+        memory: MemoryConstraint::Fraction(0.25),
+        throughput: ThroughputConstraint::MbPerS(50.0),
+        resiliency: ResiliencyConstraint::ErrorsPerMb(1.0),
+    };
+    let (encoded, selection) = ctx.encode(&data, &request)?;
+    println!(
+        "ARC chose {} on {} threads: overhead {:.1}%, predicted {:.0} MB/s",
+        selection.config,
+        selection.threads,
+        selection.overhead * 100.0,
+        selection.predicted_encode_mb_s
+    );
+
+    // A soft error strikes the stored data…
+    let mut corrupted = encoded.clone();
+    corrupted[123_456] ^= 0x10;
+
+    // arc_decode(): repaired transparently.
+    let (decoded, report) = ctx.decode(&corrupted)?;
+    assert_eq!(decoded, data);
+    println!(
+        "decoded OK: {} bit(s) corrected, {} device(s) rebuilt",
+        report.correction.corrected_bits, report.correction.corrected_devices
+    );
+
+    // arc_close() — persists refreshed throughput estimates.
+    ctx.close()?;
+    Ok(())
+}
