@@ -41,9 +41,7 @@ fn bench_arc_pipeline(c: &mut Criterion) {
         b.iter(|| ctx.encode(&data, &EncodeRequest::default()).expect("encode"))
     });
     let (encoded, _) = ctx.encode(&data, &EncodeRequest::default()).expect("encode");
-    group.bench_function("decode_clean", |b| {
-        b.iter(|| ctx.decode(&encoded).expect("decode"))
-    });
+    group.bench_function("decode_clean", |b| b.iter(|| ctx.decode(&encoded).expect("decode")));
     group.finish();
 }
 

@@ -24,7 +24,8 @@ impl Compressor for SzVariant {
         format!("sz-variant(lossless={})", self.cfg.final_lossless)
     }
     fn compress(&self, ds: &Dataset<'_>) -> Result<Vec<u8>, PressioError> {
-        arc_sz::compress(ds.data, ds.dims, &self.cfg).map_err(|e| PressioError::Codec(e.to_string()))
+        arc_sz::compress(ds.data, ds.dims, &self.cfg)
+            .map_err(|e| PressioError::Codec(e.to_string()))
     }
     fn decompress_with_limit(
         &self,
@@ -60,9 +61,8 @@ fn sz_lossless_ablation(scale: RunScale) {
                 ..Default::default()
             },
         };
-        let stream = comp
-            .compress(&Dataset { data: &field.data, dims: &field.dims })
-            .expect("compress");
+        let stream =
+            comp.compress(&Dataset { data: &field.data, dims: &field.dims }).expect("compress");
         let cr = field.byte_len() as f64 / stream.len() as f64;
         let ctx = TrialContext::new(&comp, &field.data, &stream);
         let bits = sample_bits(stream.len() as u64 * 8, trials, 0xAB1);
@@ -166,7 +166,11 @@ fn ecc_vs_replication_ablation(scale: RunScale) {
     let mut rows = Vec::new();
     let schemes: Vec<(&str, &str, Box<dyn arc_ecc::EccScheme>)> = vec![
         ("SEC-DED w64", "corrects sparse single-bit", Box::new(arc_ecc::SecDed::w64())),
-        ("RS(223,32)", "corrects bursts (32 devices)", Box::new(arc_ecc::ReedSolomon::new(223, 32).unwrap())),
+        (
+            "RS(223,32)",
+            "corrects bursts (32 devices)",
+            Box::new(arc_ecc::ReedSolomon::new(223, 32).unwrap()),
+        ),
         ("2x replication", "detects (cannot vote)", Box::new(Replication::new(2).unwrap())),
         ("3x replication (TMR)", "corrects sparse + burst", Box::new(Replication::tmr())),
     ];

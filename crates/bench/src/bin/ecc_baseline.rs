@@ -1,0 +1,77 @@
+//! Record the `ecc_throughput` baseline into `BENCH_ecc.json`.
+//!
+//! Measures encode (`encode_into`) and clean in-place decode
+//! (`decode_in_place`) throughput for every built-in scheme at 1 thread and
+//! all available threads, then prints a JSON document (hand-rolled — the
+//! repo takes no serde dependency). Redirect to the repo root to refresh
+//! the committed baseline:
+//!
+//! ```text
+//! cargo run -p arc-bench --release --bin ecc_baseline > BENCH_ecc.json
+//! ```
+
+use std::time::Instant;
+
+use arc_bench::scaling_schemes;
+use arc_ecc::ParallelCodec;
+
+const PROBE_BYTES: usize = 4 << 20;
+const RS_PROBE_BYTES: usize = 1 << 20;
+const REPS: usize = 5;
+
+fn probe(len: usize) -> Vec<u8> {
+    (0..len).map(|i| ((i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 29) as u8).collect()
+}
+
+/// Best-of-`REPS` wall time for `f`, in seconds.
+fn best_secs(mut f: impl FnMut()) -> f64 {
+    f(); // warm up
+    (0..REPS)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let thread_points = if max_threads > 1 { vec![1, max_threads] } else { vec![1] };
+
+    let mut entries = Vec::new();
+    for (name, config) in scaling_schemes() {
+        let len = if name == "Reed-Solomon" { RS_PROBE_BYTES } else { PROBE_BYTES };
+        let data = probe(len);
+        for &threads in &thread_points {
+            let codec = ParallelCodec::new(config, threads).expect("codec");
+            let mut out = vec![0u8; codec.encoded_len(data.len())];
+            let enc = best_secs(|| codec.encode_into(&data, &mut out));
+            let mut encoded = codec.encode(&data);
+            let dec = best_secs(|| {
+                codec.decode_in_place(&mut encoded, data.len()).expect("clean decode");
+            });
+            let mbps = |secs: f64| len as f64 / secs / (1 << 20) as f64;
+            entries.push(format!(
+                concat!(
+                    "    {{\"scheme\": \"{}\", \"threads\": {}, \"bytes\": {}, ",
+                    "\"encode_mib_s\": {:.1}, \"decode_clean_mib_s\": {:.1}}}"
+                ),
+                name,
+                threads,
+                len,
+                mbps(enc),
+                mbps(dec)
+            ));
+        }
+    }
+
+    println!("{{");
+    println!("  \"bench\": \"ecc_throughput\",");
+    println!("  \"unit\": \"MiB/s\",");
+    println!("  \"reps\": {REPS},");
+    println!("  \"results\": [");
+    println!("{}", entries.join(",\n"));
+    println!("  ]");
+    println!("}}");
+}

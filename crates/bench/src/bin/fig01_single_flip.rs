@@ -45,11 +45,7 @@ fn main() {
     for &bit in &bits {
         let out = ctx.run_flip(bit);
         let (incorrect, maxd, psnr) = match &out.metrics {
-            Some(m) => (
-                m.percent_incorrect.unwrap_or(f64::NAN),
-                m.max_abs_diff,
-                m.psnr,
-            ),
+            Some(m) => (m.percent_incorrect.unwrap_or(f64::NAN), m.max_abs_diff, m.psnr),
             None => (f64::NAN, f64::NAN, f64::NAN),
         };
         if out.status == ReturnStatus::Completed && incorrect.is_finite() && incorrect > 0.0 {

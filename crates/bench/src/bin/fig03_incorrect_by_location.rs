@@ -65,8 +65,6 @@ fn main() {
         &["mode", "avg %", "avg elems", "range %", "mean % by stream decile (0..9)"],
         &summary,
     );
-    println!(
-        "\npaper: SZ-ABS 10.04% | SZ-PWREL 9.57% | ZFP-ACC 10.32% | ZFP-Rate 3.53 *elements*"
-    );
+    println!("\npaper: SZ-ABS 10.04% | SZ-PWREL 9.57% | ZFP-ACC 10.32% | ZFP-Rate 3.53 *elements*");
     println!("shape check: ZFP-Rate's avg-elements column should be orders of magnitude\nbelow the serial modes' element counts, and its range should stay within one 4^d block.");
 }

@@ -19,11 +19,8 @@ fn main() {
     let ds = Dataset { data: &field.data, dims: &field.dims };
     let trials = scale.trials(120, 400, 2000);
     let targets = [50.0, 25.0, 13.0, 7.0];
-    let modes = [
-        CompressorSpec::SzAbs(0.1),
-        CompressorSpec::SzPwRel(0.1),
-        CompressorSpec::ZfpAcc(0.1),
-    ];
+    let modes =
+        [CompressorSpec::SzAbs(0.1), CompressorSpec::SzPwRel(0.1), CompressorSpec::ZfpAcc(0.1)];
     let mut rows = Vec::new();
     for spec in modes {
         for &target in &targets {
@@ -37,13 +34,8 @@ fn main() {
                 CompressorSpec::SzPwRel(_) => BoundSpec::PwRel(tuned.param),
                 _ => BoundSpec::Abs(tuned.param),
             };
-            let report = run_campaign_with_bound(
-                comp.as_ref(),
-                &field.data,
-                &stream,
-                &bits,
-                Some(bound),
-            );
+            let report =
+                run_campaign_with_bound(comp.as_ref(), &field.data, &stream, &bits, Some(bound));
             // Head-vs-tail slope: mean % incorrect in the first vs last
             // third of the stream.
             let (mut head, mut hn, mut tail, mut tn) = (0.0f64, 0usize, 0.0f64, 0usize);

@@ -15,11 +15,7 @@ fn main() {
     let data = ecc_probe_bytes(scale);
     let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
     let ladder = thread_ladder(max_threads);
-    println!(
-        "probe: CESM bytes ({:.1} MB), threads {:?}",
-        data.len() as f64 / 1e6,
-        ladder
-    );
+    println!("probe: CESM bytes ({:.1} MB), threads {:?}", data.len() as f64 / 1e6, ladder);
     let reps = scale.trials(1, 3, 10);
     let mut rows = Vec::new();
     let mut speedups = Vec::new();
@@ -52,9 +48,7 @@ fn main() {
     headers.push(format!("{}v1 speedup", ladder.last().unwrap()));
     let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
     print_table("Fig 8: encoding throughput vs threads", &header_refs, &rows);
-    println!(
-        "\npaper speedups at 40 threads: parity 19.7x, hamming 26.8x, secded 33.9x, rs 16.4x"
-    );
+    println!("\npaper speedups at 40 threads: parity 19.7x, hamming 26.8x, secded 33.9x, rs 16.4x");
     println!(
         "shape checks: near-linear scaling per method; ordering parity > hamming >\n\
          secded > reed-solomon in absolute MB/s."

@@ -15,11 +15,7 @@ fn main() {
     let data = ecc_probe_bytes(scale);
     let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
     let ladder = thread_ladder(max_threads);
-    println!(
-        "probe: CESM bytes ({:.1} MB), threads {:?}",
-        data.len() as f64 / 1e6,
-        ladder
-    );
+    println!("probe: CESM bytes ({:.1} MB), threads {:?}", data.len() as f64 / 1e6, ladder);
     let reps = scale.trials(1, 3, 10);
     let mut rows = Vec::new();
     for (name, config) in scaling_schemes() {
@@ -54,9 +50,7 @@ fn main() {
     headers.push(format!("{}v1 speedup", ladder.last().unwrap()));
     let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
     print_table("Fig 9: error-free decoding throughput vs threads", &header_refs, &rows);
-    println!(
-        "\npaper speedups at 40 threads: parity 18.6x, hamming 33.5x, secded 33.5x, rs 18.3x"
-    );
+    println!("\npaper speedups at 40 threads: parity 18.6x, hamming 33.5x, secded 33.5x, rs 18.3x");
     println!(
         "shape checks: near-linear scaling; Reed-Solomon decode ≫ Reed-Solomon encode\n\
          (clean decode is a CRC sweep, Fig 9d vs Fig 8d)."

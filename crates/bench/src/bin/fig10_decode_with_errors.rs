@@ -7,9 +7,7 @@
 //! speedups 2.64× / 2.43× / 1.1×) yet stay above ~7 MB/s and still repair
 //! everything. Parity is excluded — it cannot correct.
 
-use arc_bench::{
-    ecc_probe_bytes, fmt, inject_correctable, print_table, scaling_schemes, RunScale,
-};
+use arc_bench::{ecc_probe_bytes, fmt, inject_correctable, print_table, scaling_schemes, RunScale};
 use arc_core::thread_ladder;
 use arc_ecc::parallel::{timed_decode, timed_encode, DEFAULT_CHUNK_SIZE};
 use arc_ecc::{EccConfig, ParallelCodec};

@@ -89,7 +89,14 @@ fn main() {
                     if sel.under_throughput { "UNDER".into() } else { "ok".into() },
                 ]);
             }
-            Err(e) => rows.push(vec![fmt(target), format!("error: {e}"), "-".into(), "-".into(), "-".into(), "-".into()]),
+            Err(e) => rows.push(vec![
+                fmt(target),
+                format!("error: {e}"),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]),
         }
     }
     print_table(

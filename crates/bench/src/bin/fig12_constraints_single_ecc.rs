@@ -32,8 +32,9 @@ fn main() {
     for method in EccMethod::ALL {
         let res = ResiliencyConstraint::Methods(vec![method]);
         for &t in &targets {
-            let sel = memory_optimizer(&table, &space, &res, MemoryConstraint::Fraction(t), max_threads)
-                .expect("selection");
+            let sel =
+                memory_optimizer(&table, &space, &res, MemoryConstraint::Fraction(t), max_threads)
+                    .expect("selection");
             rows.push(vec![
                 method.name().to_string(),
                 fmt(t),

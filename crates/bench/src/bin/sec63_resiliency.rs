@@ -70,7 +70,14 @@ fn main() {
     }
     print_table(
         "Sec 6.3: single-bit fault injection through ARC (1 error/MB constraint)",
-        &["dataset", "ARC chose", "trials", "corrected", "detected-uncorrectable", "silent corruption"],
+        &[
+            "dataset",
+            "ARC chose",
+            "trials",
+            "corrected",
+            "detected-uncorrectable",
+            "silent corruption",
+        ],
         &rows,
     );
     println!("paper: ARC corrects 100% of injected single-bit errors (SEC-DED per 8 bytes).");

@@ -27,7 +27,15 @@ fn main() {
     }
     print_table(
         "Sec 6.4: system failure profiles (paper: Cielo 1.9 d, Hopper 5.43 d)",
-        &["system", "nodes", "elevation", "soft-error MTBF", "single-bit", "multi-bit", "soft/all faults"],
+        &[
+            "system",
+            "nodes",
+            "elevation",
+            "soft-error MTBF",
+            "single-bit",
+            "multi-bit",
+            "soft/all faults",
+        ],
         &rows,
     );
 
@@ -35,8 +43,7 @@ fn main() {
     for s in &systems {
         let rec = s.recommended_resiliency();
         let allowed = rec.filter(&space);
-        let methods: std::collections::BTreeSet<&str> =
-            allowed.iter().map(|c| c.name()).collect();
+        let methods: std::collections::BTreeSet<&str> = allowed.iter().map(|c| c.name()).collect();
         println!("\n{}", s.summary());
         println!("  recommended resiliency constraint: {rec:?}");
         println!("  admitted ECC methods: {methods:?}");

@@ -33,7 +33,11 @@ fn main() {
     let enc = arc_secded_encode(&data, true, 2).unwrap();
     demo.push(("secded (72,64)", enc.len(), arc_secded_decode(&enc, 2).unwrap().0 == data));
     let enc = arc_reed_solomon_encode(&data, 223, 32, 2).unwrap();
-    demo.push(("reed-solomon (223,32)", enc.len(), arc_reed_solomon_decode(&enc, 2).unwrap().0 == data));
+    demo.push((
+        "reed-solomon (223,32)",
+        enc.len(),
+        arc_reed_solomon_decode(&enc, 2).unwrap().0 == data,
+    ));
     let rows: Vec<Vec<String>> = demo
         .iter()
         .map(|(name, len, ok)| {

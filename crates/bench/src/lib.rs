@@ -83,10 +83,7 @@ pub fn paper_modes() -> Vec<CompressorSpec> {
 }
 
 /// Compress a field under a spec, returning the (compressor, stream) pair.
-pub fn compress_field(
-    spec: CompressorSpec,
-    field: &Field,
-) -> (Box<dyn Compressor>, Vec<u8>) {
+pub fn compress_field(spec: CompressorSpec, field: &Field) -> (Box<dyn Compressor>, Vec<u8>) {
     let comp = spec.build();
     let stream = comp
         .compress(&Dataset { data: &field.data, dims: &field.dims })
@@ -200,7 +197,8 @@ pub fn inject_correctable(
                     // Pick a device index deterministically spread out.
                     let dev = (d * rs.k / per_chunk_devices) % rs.k;
                     let dev_start = chunk_start + dev * device;
-                    let dev_len = device.min(chunk_start + chunk_len).saturating_sub(dev_start).min(device);
+                    let dev_len =
+                        device.min(chunk_start + chunk_len).saturating_sub(dev_start).min(device);
                     if dev_len == 0 || dev_start >= data_len {
                         continue;
                     }

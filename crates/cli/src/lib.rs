@@ -125,7 +125,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut quick_train = false;
     let mut days = 30.0f64;
     let take_value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
-                          flag: &str|
+                      flag: &str|
      -> Result<String, String> {
         it.next().cloned().ok_or_else(|| format!("{flag} needs a value"))
     };
@@ -155,8 +155,12 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     list.split(',').map(parse_method).collect();
                 resiliency = ResiliencyConstraint::Methods(methods?);
             }
-            "--burst" => resiliency = ResiliencyConstraint::Responses(vec![ErrorResponse::CorrectBurst]),
-            "--sparse" => resiliency = ResiliencyConstraint::Responses(vec![ErrorResponse::CorrectSparse]),
+            "--burst" => {
+                resiliency = ResiliencyConstraint::Responses(vec![ErrorResponse::CorrectBurst])
+            }
+            "--sparse" => {
+                resiliency = ResiliencyConstraint::Responses(vec![ErrorResponse::CorrectSparse])
+            }
             "--threads" => {
                 threads = take_value(&mut it, "--threads")?
                     .parse()
@@ -299,8 +303,7 @@ fn execute(cmd: Command) -> Result<(), String> {
                     } else {
                         println!(
                             "REPAIRABLE: {} bit(s), {} device(s) damaged but correctable",
-                            report.correction.corrected_bits,
-                            report.correction.corrected_devices
+                            report.correction.corrected_bits, report.correction.corrected_devices
                         );
                     }
                     Ok(())
@@ -318,7 +321,11 @@ fn execute(cmd: Command) -> Result<(), String> {
             println!("data CRC-32:   {:08x}", u.meta.data_crc);
             println!(
                 "header health: {}{}",
-                if u.header_symbols_corrected == 0 { "clean".to_string() } else { format!("{} symbol(s) repaired", u.header_symbols_corrected) },
+                if u.header_symbols_corrected == 0 {
+                    "clean".to_string()
+                } else {
+                    format!("{} symbol(s) repaired", u.header_symbols_corrected)
+                },
                 if u.used_backup_header { ", backup copy used" } else { "" }
             );
             Ok(())

@@ -47,7 +47,9 @@ impl ThroughputConstraint {
         match *self {
             ThroughputConstraint::Any => Ok(()),
             ThroughputConstraint::MbPerS(v) if v.is_finite() && v > 0.0 => Ok(()),
-            ThroughputConstraint::MbPerS(v) => Err(format!("throughput constraint {v} must be > 0")),
+            ThroughputConstraint::MbPerS(v) => {
+                Err(format!("throughput constraint {v} must be > 0"))
+            }
         }
     }
 }
@@ -200,11 +202,13 @@ mod tests {
         let det = ResiliencyConstraint::Responses(vec![ErrorResponse::DetectSparse]).filter(&space);
         assert_eq!(det.len(), space.len());
         // COR_SPARSE: excludes parity.
-        let cor = ResiliencyConstraint::Responses(vec![ErrorResponse::CorrectSparse]).filter(&space);
+        let cor =
+            ResiliencyConstraint::Responses(vec![ErrorResponse::CorrectSparse]).filter(&space);
         assert!(cor.iter().all(|c| c.method() != EccMethod::Parity));
         assert!(!cor.is_empty());
         // COR_BURST: Reed-Solomon only.
-        let burst = ResiliencyConstraint::Responses(vec![ErrorResponse::CorrectBurst]).filter(&space);
+        let burst =
+            ResiliencyConstraint::Responses(vec![ErrorResponse::CorrectBurst]).filter(&space);
         assert!(burst.iter().all(|c| c.method() == EccMethod::Rs));
     }
 
@@ -215,9 +219,7 @@ mod tests {
         // names "SEC-DED or Reed-Solomon" at low rates).
         let one = ResiliencyConstraint::ErrorsPerMb(1.0).filter(&space);
         assert!(one.iter().any(|c| c.method() == EccMethod::SecDed));
-        assert!(one
-            .iter()
-            .all(|c| matches!(c.method(), EccMethod::SecDed | EccMethod::Rs)));
+        assert!(one.iter().all(|c| matches!(c.method(), EccMethod::SecDed | EccMethod::Rs)));
         // §5.1's case: above one error per sixteenth-MB → Reed-Solomon only.
         let heavy = ResiliencyConstraint::ErrorsPerMb(20.0).filter(&space);
         assert!(!heavy.is_empty());

@@ -108,9 +108,21 @@ fn parse_header(bytes: &[u8]) -> Result<ContainerMeta, ArcError> {
     Ok(ContainerMeta { scheme_id, chunk_size, data_len, payload_len, data_crc })
 }
 
-/// Assemble a container around an encoded payload.
-pub fn pack(meta: &ContainerMeta, payload: &[u8]) -> Vec<u8> {
-    debug_assert_eq!(meta.payload_len, payload.len());
+/// Size of the container framing for `meta` — the triplicated length
+/// prefix plus both header codewords — i.e. the byte offset at which the
+/// payload begins. A pure function of the header fields, so callers can
+/// allocate `header_len(meta) + meta.payload_len` up front and scatter-write
+/// the whole container into it.
+pub fn header_len(meta: &ContainerMeta) -> usize {
+    // serialize_header: magic 4 + version 1 + id-len byte 1 + id + 3×u64 + crc 4.
+    let header = 34 + meta.scheme_id.len();
+    6 + 2 * (header + HEADER_NSYM)
+}
+
+/// Write the container framing into `out`, which must be exactly
+/// [`header_len`] bytes. `out` may hold arbitrary garbage; every byte is
+/// overwritten.
+pub fn write_header(meta: &ContainerMeta, out: &mut [u8]) {
     assert!(meta.scheme_id.len() <= 64, "scheme id too long for the container header");
     let header = serialize_header(meta);
     let rs = RsCodeword::new(HEADER_NSYM).expect("static nsym");
@@ -120,14 +132,26 @@ pub fn pack(meta: &ContainerMeta, payload: &[u8]) -> Vec<u8> {
         header.len()
     );
     let codeword = rs.encode(&header);
-    let len = codeword.len() as u16;
-    let mut out = Vec::with_capacity(6 + 2 * codeword.len() + payload.len());
-    for _ in 0..3 {
-        out.extend_from_slice(&len.to_le_bytes());
-    }
-    out.extend_from_slice(&codeword);
-    out.extend_from_slice(&codeword);
-    out.extend_from_slice(payload);
+    assert_eq!(out.len(), 6 + 2 * codeword.len(), "write_header: buffer size mismatch");
+    let len = (codeword.len() as u16).to_le_bytes();
+    out[0..2].copy_from_slice(&len);
+    out[2..4].copy_from_slice(&len);
+    out[4..6].copy_from_slice(&len);
+    out[6..6 + codeword.len()].copy_from_slice(&codeword);
+    out[6 + codeword.len()..].copy_from_slice(&codeword);
+}
+
+/// Assemble a container around an encoded payload.
+///
+/// Convenience wrapper over [`header_len`] + [`write_header`]; the zero-copy
+/// encode paths skip it and scatter-write the payload directly after the
+/// reserved header prefix.
+pub fn pack(meta: &ContainerMeta, payload: &[u8]) -> Vec<u8> {
+    debug_assert_eq!(meta.payload_len, payload.len());
+    let hlen = header_len(meta);
+    let mut out = vec![0u8; hlen + payload.len()];
+    write_header(meta, &mut out[..hlen]);
+    out[hlen..].copy_from_slice(payload);
     out
 }
 
@@ -138,6 +162,9 @@ pub struct Unpacked<'a> {
     pub meta: ContainerMeta,
     /// The (still ECC-encoded) payload region.
     pub payload: &'a [u8],
+    /// Byte offset of the payload region within the container, so in-place
+    /// decoders can re-borrow it mutably from the original buffer.
+    pub payload_offset: usize,
     /// True when the primary header copy was unusable and the backup copy
     /// saved the day.
     pub used_backup_header: bool,
@@ -179,6 +206,7 @@ pub fn unpack(bytes: &[u8]) -> Result<Unpacked<'_>, ArcError> {
                     return Some(Unpacked {
                         meta,
                         payload,
+                        payload_offset: 6 + 2 * len,
                         used_backup_header: used_backup,
                         header_symbols_corrected: fixed,
                     });
@@ -187,11 +215,7 @@ pub fn unpack(bytes: &[u8]) -> Result<Unpacked<'_>, ArcError> {
         }
         None
     };
-    let candidates: Vec<u16> = if voted != 0 {
-        vec![voted]
-    } else {
-        lens.to_vec()
-    };
+    let candidates: Vec<u16> = if voted != 0 { vec![voted] } else { lens.to_vec() };
     for len in candidates {
         if let Some(u) = try_len(len) {
             // Final consistency check against the buffer we actually have.
@@ -317,6 +341,31 @@ mod tests {
                 Err(e) => panic!("single-byte header damage at {i} unrecoverable: {e}"),
             }
         }
+    }
+
+    #[test]
+    fn header_len_matches_pack_layout() {
+        for config in EccConfig::standard_space() {
+            let m = ContainerMeta { scheme_id: config.id(), ..meta() };
+            let payload = vec![5u8; 64];
+            let packed = pack(&m, &payload);
+            let hlen = header_len(&m);
+            assert_eq!(packed.len(), hlen + payload.len(), "{}", m.scheme_id);
+            assert_eq!(&packed[hlen..], &payload[..]);
+            let u = unpack(&packed).unwrap();
+            assert_eq!(u.payload_offset, hlen);
+        }
+    }
+
+    #[test]
+    fn write_header_overwrites_garbage() {
+        let m = meta();
+        let payload = vec![8u8; 64];
+        let reference = pack(&m, &payload);
+        let hlen = header_len(&m);
+        let mut buf = vec![0xCCu8; hlen];
+        write_header(&m, &mut buf);
+        assert_eq!(&buf[..], &reference[..hlen]);
     }
 
     #[test]

@@ -16,25 +16,35 @@ use crate::error::ArcError;
 use crate::interface::{decode_with_threads, ArcDecodeReport};
 
 /// Encode with an explicit configuration (the general engine entry point).
+///
+/// `threads` accepts [`arc_ecc::parallel::ANY_THREADS`] (0) for "all
+/// available cores". Allocates the whole container — header prefix plus
+/// encoded payload — once and scatter-writes both regions in place.
 pub fn arc_engine_encode(
     data: &[u8],
     config: EccConfig,
     threads: usize,
 ) -> Result<Vec<u8>, ArcError> {
-    let codec = ParallelCodec::with_chunk_size(config, threads.max(1), DEFAULT_CHUNK_SIZE)?;
-    let payload = codec.encode(data);
+    let codec = ParallelCodec::with_chunk_size(config, threads, DEFAULT_CHUNK_SIZE)?;
     let meta = ContainerMeta {
         scheme_id: config.id(),
         chunk_size: DEFAULT_CHUNK_SIZE,
         data_len: data.len(),
-        payload_len: payload.len(),
+        payload_len: codec.encoded_len(data.len()),
         data_crc: container::data_crc(data),
     };
-    Ok(container::pack(&meta, &payload))
+    let hlen = container::header_len(&meta);
+    let mut out = vec![0u8; hlen + meta.payload_len];
+    container::write_header(&meta, &mut out[..hlen]);
+    codec.encode_into(data, &mut out[hlen..]);
+    Ok(out)
 }
 
 /// Decode any engine-encoded container.
-pub fn arc_engine_decode(bytes: &[u8], threads: usize) -> Result<(Vec<u8>, ArcDecodeReport), ArcError> {
+pub fn arc_engine_decode(
+    bytes: &[u8],
+    threads: usize,
+) -> Result<(Vec<u8>, ArcDecodeReport), ArcError> {
     decode_with_threads(bytes, threads)
 }
 
@@ -65,7 +75,10 @@ pub fn arc_parity_encode(
 }
 
 /// `arc_parity_decode()`.
-pub fn arc_parity_decode(bytes: &[u8], threads: usize) -> Result<(Vec<u8>, ArcDecodeReport), ArcError> {
+pub fn arc_parity_decode(
+    bytes: &[u8],
+    threads: usize,
+) -> Result<(Vec<u8>, ArcDecodeReport), ArcError> {
     decode_expecting(bytes, threads, EccMethod::Parity)
 }
 
@@ -76,7 +89,10 @@ pub fn arc_hamming_encode(data: &[u8], wide: bool, threads: usize) -> Result<Vec
 }
 
 /// `arc_hamming_decode()`.
-pub fn arc_hamming_decode(bytes: &[u8], threads: usize) -> Result<(Vec<u8>, ArcDecodeReport), ArcError> {
+pub fn arc_hamming_decode(
+    bytes: &[u8],
+    threads: usize,
+) -> Result<(Vec<u8>, ArcDecodeReport), ArcError> {
     decode_expecting(bytes, threads, EccMethod::Hamming)
 }
 
@@ -86,7 +102,10 @@ pub fn arc_secded_encode(data: &[u8], wide: bool, threads: usize) -> Result<Vec<
 }
 
 /// `arc_secded_decode()`.
-pub fn arc_secded_decode(bytes: &[u8], threads: usize) -> Result<(Vec<u8>, ArcDecodeReport), ArcError> {
+pub fn arc_secded_decode(
+    bytes: &[u8],
+    threads: usize,
+) -> Result<(Vec<u8>, ArcDecodeReport), ArcError> {
     decode_expecting(bytes, threads, EccMethod::SecDed)
 }
 
@@ -149,10 +168,7 @@ mod tests {
     fn mismatched_decode_function_is_rejected() {
         let data = payload(1_000);
         let enc = arc_secded_encode(&data, true, 1).unwrap();
-        assert!(matches!(
-            arc_hamming_decode(&enc, 1),
-            Err(ArcError::InvalidRequest(_))
-        ));
+        assert!(matches!(arc_hamming_decode(&enc, 1), Err(ArcError::InvalidRequest(_))));
         // The generic decode still works.
         assert_eq!(arc_engine_decode(&enc, 1).unwrap().0, data);
     }

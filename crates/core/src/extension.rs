@@ -101,6 +101,12 @@ impl ExtensionRegistry {
 
 /// Encode `data` with the registered scheme `name`, producing a standard
 /// ARC container tagged `x:<name>`.
+///
+/// `threads` accepts `arc_ecc::parallel::ANY_THREADS` (0) for "all
+/// available cores". Allocates the whole container once; the scheme's
+/// parity is scatter-written in place (via the scheme's
+/// `encode_parity_into`, or its `encode_parity` fallback for schemes that
+/// only implement the allocating form).
 pub fn encode_with_scheme(
     data: &[u8],
     registry: &ExtensionRegistry,
@@ -110,16 +116,19 @@ pub fn encode_with_scheme(
     let scheme = registry.get(name).ok_or_else(|| {
         ArcError::InvalidRequest(format!("no extension scheme named {name:?} registered"))
     })?;
-    let codec = ParallelCodec::with_chunk_size(scheme, threads.max(1), DEFAULT_CHUNK_SIZE)?;
-    let payload = codec.encode(data);
+    let codec = ParallelCodec::with_chunk_size(scheme, threads, DEFAULT_CHUNK_SIZE)?;
     let meta = ContainerMeta {
         scheme_id: format!("{CUSTOM_PREFIX}{name}"),
         chunk_size: DEFAULT_CHUNK_SIZE,
         data_len: data.len(),
-        payload_len: payload.len(),
+        payload_len: codec.encoded_len(data.len()),
         data_crc: container::data_crc(data),
     };
-    Ok(container::pack(&meta, &payload))
+    let hlen = container::header_len(&meta);
+    let mut out = vec![0u8; hlen + meta.payload_len];
+    container::write_header(&meta, &mut out[..hlen]);
+    codec.encode_into(data, &mut out[hlen..]);
+    Ok(out)
 }
 
 /// Decode any ARC container, resolving extension ids against `registry`
@@ -141,8 +150,10 @@ pub fn decode_with_registry(
             meta.scheme_id
         ))
     })?;
-    let codec = ParallelCodec::with_chunk_size(scheme, threads.max(1), meta.chunk_size)?;
-    let (data, correction) = codec.decode(unpacked.payload, meta.data_len)?;
+    let codec = ParallelCodec::with_chunk_size(scheme, threads, meta.chunk_size)?;
+    let mut data = unpacked.payload.to_vec();
+    let correction = codec.decode_in_place(&mut data, meta.data_len)?;
+    data.truncate(meta.data_len);
     if container::data_crc(&data) != meta.data_crc {
         return Err(ArcError::Ecc(arc_ecc::EccError::Uncorrectable {
             scheme: "custom",
@@ -217,10 +228,7 @@ mod tests {
         let data = vec![1u8; 1000];
         let enc = encode_with_scheme(&data, &r, "tmr", 1).unwrap();
         let empty = ExtensionRegistry::new();
-        assert!(matches!(
-            decode_with_registry(&enc, 1, &empty),
-            Err(ArcError::InvalidRequest(_))
-        ));
+        assert!(matches!(decode_with_registry(&enc, 1, &empty), Err(ArcError::InvalidRequest(_))));
         // The registry-less decode path refuses custom containers politely.
         assert!(matches!(
             crate::interface::decode_with_threads(&enc, 1),

@@ -25,9 +25,11 @@ use crate::error::ArcError;
 use crate::optimizer::{joint_optimizer, Selection};
 use crate::training::{train, TrainingOptions, TrainingStats, TrainingTable};
 
-/// Pass as `max_threads` to let ARC use every available core
-/// (`ARC_ANY_THREADS`).
-pub const ANY_THREADS: usize = 0;
+/// Pass as `max_threads` (or any `threads` argument) to let ARC use every
+/// available core (`ARC_ANY_THREADS`). Re-exported from
+/// [`arc_ecc::parallel`], where the sentinel is resolved exactly once at
+/// codec construction.
+pub use arc_ecc::parallel::ANY_THREADS;
 
 /// Options for [`ArcContext::init`].
 #[derive(Debug, Clone)]
@@ -106,11 +108,7 @@ impl ArcContext {
     /// `arc_init()`: load the cache, train missing configurations, return a
     /// ready context.
     pub fn init(options: ArcOptions) -> Result<ArcContext, ArcError> {
-        let max_threads = if options.max_threads == ANY_THREADS {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-        } else {
-            options.max_threads
-        };
+        let max_threads = arc_ecc::parallel::resolve_threads(options.max_threads);
         let mut table = match &options.cache_path {
             Some(p) => TrainingTable::load_or_default(p),
             None => TrainingTable::new(),
@@ -157,7 +155,11 @@ impl ArcContext {
 
     /// `arc_encode()`: choose a configuration under the constraints and
     /// protect `data`, returning the container and the selection made.
-    pub fn encode(&self, data: &[u8], request: &EncodeRequest) -> Result<(Vec<u8>, Selection), ArcError> {
+    pub fn encode(
+        &self,
+        data: &[u8],
+        request: &EncodeRequest,
+    ) -> Result<(Vec<u8>, Selection), ArcError> {
         let selection = self.select(request)?;
         let out = self.encode_with(data, selection.config, selection.threads)?;
         Ok((out, selection))
@@ -165,16 +167,33 @@ impl ArcContext {
 
     /// Engine-level encode with an explicit configuration and thread count
     /// (§5.2: "the user can ignore these suggestions").
+    ///
+    /// `threads` accepts [`ANY_THREADS`] (0), which here means "up to the
+    /// context's thread cap"; explicit counts are likewise capped at
+    /// `max_threads`. The whole container is allocated once and the payload
+    /// is scatter-written in place after the header prefix; the timing fed
+    /// back into the training table measures that real encode path.
     pub fn encode_with(
         &self,
         data: &[u8],
         config: EccConfig,
         threads: usize,
     ) -> Result<Vec<u8>, ArcError> {
-        let threads = threads.clamp(1, self.max_threads.max(1));
+        let cap = self.max_threads.max(1);
+        let threads = if threads == ANY_THREADS { cap } else { threads.min(cap) };
         let codec = ParallelCodec::with_chunk_size(config, threads, self.chunk_size)?;
+        let meta = ContainerMeta {
+            scheme_id: config.id(),
+            chunk_size: self.chunk_size,
+            data_len: data.len(),
+            payload_len: codec.encoded_len(data.len()),
+            data_crc: container::data_crc(data),
+        };
+        let hlen = container::header_len(&meta);
+        let mut out = vec![0u8; hlen + meta.payload_len];
+        container::write_header(&meta, &mut out[..hlen]);
         let t0 = std::time::Instant::now();
-        let payload = codec.encode(data);
+        codec.encode_into(data, &mut out[hlen..]);
         let seconds = t0.elapsed().as_secs_f64();
         // Fold the observed throughput back into the table so estimates
         // stay current (§5.1: arc_close "update[s] all cached
@@ -187,20 +206,23 @@ impl ArcContext {
                 self.table.write().record(&config, threads, mbs, dec);
             }
         }
-        let meta = ContainerMeta {
-            scheme_id: config.id(),
-            chunk_size: self.chunk_size,
-            data_len: data.len(),
-            payload_len: payload.len(),
-            data_crc: container::data_crc(data),
-        };
-        Ok(container::pack(&meta, &payload))
+        Ok(out)
     }
 
     /// `arc_decode()`: verify, repair if needed, and return the original
     /// byte array — or raise when the damage is uncorrectable (Fig 7b).
     pub fn decode(&self, bytes: &[u8]) -> Result<(Vec<u8>, ArcDecodeReport), ArcError> {
         decode_with_threads(bytes, self.max_threads)
+    }
+
+    /// Zero-copy `arc_decode()`: repair the container's payload where it
+    /// lies inside `bytes` and return the range holding the original data.
+    /// See [`decode_in_place_with_threads`].
+    pub fn decode_in_place(
+        &self,
+        bytes: &mut [u8],
+    ) -> Result<(std::ops::Range<usize>, ArcDecodeReport), ArcError> {
+        decode_in_place_with_threads(bytes, self.max_threads)
     }
 
     fn save_cache(&self) -> Result<(), ArcError> {
@@ -231,8 +253,16 @@ impl Drop for ArcContext {
 }
 
 /// Standalone decode (the container is self-describing, so decoding needs
-/// no trained context — only a thread budget).
-pub fn decode_with_threads(bytes: &[u8], threads: usize) -> Result<(Vec<u8>, ArcDecodeReport), ArcError> {
+/// no trained context — only a thread budget; [`ANY_THREADS`] uses every
+/// core).
+///
+/// Copies the payload out of the borrowed container exactly once and
+/// repairs it in place; use [`decode_in_place_with_threads`] to skip even
+/// that copy when the container buffer is owned and expendable.
+pub fn decode_with_threads(
+    bytes: &[u8],
+    threads: usize,
+) -> Result<(Vec<u8>, ArcDecodeReport), ArcError> {
     let unpacked = container::unpack(bytes)?;
     let meta = &unpacked.meta;
     let config = meta.builtin_config().ok_or_else(|| {
@@ -242,9 +272,10 @@ pub fn decode_with_threads(bytes: &[u8], threads: usize) -> Result<(Vec<u8>, Arc
             meta.scheme_id
         ))
     })?;
-    let threads = threads.max(1);
     let codec = ParallelCodec::with_chunk_size(config, threads, meta.chunk_size)?;
-    let (data, correction) = codec.decode(unpacked.payload, meta.data_len)?;
+    let mut data = unpacked.payload.to_vec();
+    let correction = codec.decode_in_place(&mut data, meta.data_len)?;
+    data.truncate(meta.data_len);
     if container::data_crc(&data) != meta.data_crc {
         return Err(ArcError::Ecc(arc_ecc::EccError::Uncorrectable {
             scheme: config.name(),
@@ -259,6 +290,55 @@ pub fn decode_with_threads(bytes: &[u8], threads: usize) -> Result<(Vec<u8>, Arc
             correction,
             used_backup_header: unpacked.used_backup_header,
             header_symbols_corrected: unpacked.header_symbols_corrected,
+        },
+    ))
+}
+
+/// Zero-copy standalone decode: verify and repair the container's payload
+/// where it lies inside `bytes`, returning the range of `bytes` that holds
+/// the repaired original data alongside the usual report.
+///
+/// On the clean path nothing is copied or moved — the data bytes are
+/// exactly where the encoder scatter-wrote them. On error the payload
+/// region's contents are unspecified.
+pub fn decode_in_place_with_threads(
+    bytes: &mut [u8],
+    threads: usize,
+) -> Result<(std::ops::Range<usize>, ArcDecodeReport), ArcError> {
+    let (meta, payload_offset, used_backup_header, header_symbols_corrected) = {
+        let unpacked = container::unpack(bytes)?;
+        (
+            unpacked.meta,
+            unpacked.payload_offset,
+            unpacked.used_backup_header,
+            unpacked.header_symbols_corrected,
+        )
+    };
+    let config = meta.builtin_config().ok_or_else(|| {
+        ArcError::InvalidRequest(format!(
+            "container uses extension scheme {:?}; decode it with \
+             arc_core::extension::decode_with_registry",
+            meta.scheme_id
+        ))
+    })?;
+    let codec = ParallelCodec::with_chunk_size(config, threads, meta.chunk_size)?;
+    let payload = &mut bytes[payload_offset..];
+    let correction = codec.decode_in_place(payload, meta.data_len)?;
+    let data = &payload[..meta.data_len];
+    if container::data_crc(data) != meta.data_crc {
+        return Err(ArcError::Ecc(arc_ecc::EccError::Uncorrectable {
+            scheme: config.name(),
+            detail: "end-to-end CRC mismatch after ECC decode".into(),
+        }));
+    }
+    Ok((
+        payload_offset..payload_offset + meta.data_len,
+        ArcDecodeReport {
+            scheme_id: meta.scheme_id,
+            config: Some(config),
+            correction,
+            used_backup_header,
+            header_symbols_corrected,
         },
     ))
 }
@@ -359,9 +439,7 @@ mod tests {
     fn detection_only_scheme_raises_on_damage() {
         let ctx = ArcContext::init(test_options("raise")).unwrap();
         let data = payload(20_000);
-        let encoded = ctx
-            .encode_with(&data, EccConfig::parity(8).unwrap(), 1)
-            .unwrap();
+        let encoded = ctx.encode_with(&data, EccConfig::parity(8).unwrap(), 1).unwrap();
         let mut bad = encoded.clone();
         let target = bad.len() / 2;
         bad[target] ^= 0x01;
@@ -369,6 +447,28 @@ mod tests {
             Err(ArcError::Ecc(_)) | Err(ArcError::Corrupted(_)) => {}
             other => panic!("expected raised error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn decode_in_place_returns_data_range() {
+        let ctx = ArcContext::init(test_options("inplace")).unwrap();
+        let data = payload(30_000);
+        let (mut encoded, _) = ctx.encode(&data, &EncodeRequest::default()).unwrap();
+        let (range, report) = ctx.decode_in_place(&mut encoded).unwrap();
+        assert!(report.correction.is_clean());
+        assert_eq!(&encoded[range], &data[..]);
+    }
+
+    #[test]
+    fn decode_in_place_repairs_damage() {
+        let ctx = ArcContext::init(test_options("inplace-repair")).unwrap();
+        let data = payload(30_000);
+        let mut encoded = ctx.encode_with(&data, EccConfig::secded(true), 2).unwrap();
+        let mid = encoded.len() / 2;
+        encoded[mid] ^= 0x10;
+        let (range, report) = decode_in_place_with_threads(&mut encoded, 2).unwrap();
+        assert!(!report.correction.is_clean());
+        assert_eq!(&encoded[range], &data[..]);
     }
 
     #[test]

@@ -57,8 +57,8 @@ pub mod optimizer;
 pub mod training;
 
 pub use constraints::{
-    EncodeRequest, ErrorResponse, MemoryConstraint, ResiliencyConstraint,
-    ThroughputConstraint, BURST_RATE_THRESHOLD,
+    EncodeRequest, ErrorResponse, MemoryConstraint, ResiliencyConstraint, ThroughputConstraint,
+    BURST_RATE_THRESHOLD,
 };
 pub use container::{ContainerMeta, Unpacked};
 pub use engine::{
@@ -67,12 +67,14 @@ pub use engine::{
     arc_secded_decode, arc_secded_encode, ENGINE_FUNCTIONS,
 };
 pub use error::ArcError;
+pub use extension::{decode_with_registry, encode_with_scheme, ExtensionRegistry};
 pub use failure::SystemProfile;
 pub use interface::{
     decode_with_threads, default_cache_path, ArcContext, ArcDecodeReport, ArcOptions, ANY_THREADS,
 };
-pub use extension::{decode_with_registry, encode_with_scheme, ExtensionRegistry};
-pub use optimizer::{joint_optimizer, joint_optimizer_with, memory_optimizer, throughput_optimizer, Selection};
+pub use optimizer::{
+    joint_optimizer, joint_optimizer_with, memory_optimizer, throughput_optimizer, Selection,
+};
 pub use training::{
     probe_buffer, thread_ladder, train, Measurement, TrainingOptions, TrainingStats, TrainingTable,
 };

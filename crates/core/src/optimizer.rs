@@ -77,22 +77,16 @@ fn resolve_threads(
     match bw {
         ThroughputConstraint::Any => {
             // No floor: take the fastest measured point.
-            let best = points
-                .iter()
-                .cloned()
-                .max_by(|a, b| a.1.total_cmp(&b.1))
-                .expect("non-empty");
+            let best =
+                points.iter().cloned().max_by(|a, b| a.1.total_cmp(&b.1)).expect("non-empty");
             Some((best.0, best.1, best.2, true))
         }
         ThroughputConstraint::MbPerS(floor) => {
             if let Some(&(t, e, d)) = points.iter().find(|&&(_, e, _)| e >= *floor) {
                 Some((t, e, d, true))
             } else {
-                let best = points
-                    .iter()
-                    .cloned()
-                    .max_by(|a, b| a.1.total_cmp(&b.1))
-                    .expect("non-empty");
+                let best =
+                    points.iter().cloned().max_by(|a, b| a.1.total_cmp(&b.1)).expect("non-empty");
                 Some((best.0, best.1, best.2, false))
             }
         }
@@ -156,14 +150,10 @@ pub fn joint_optimizer_with(
                 candidates.iter().filter(|c| c.overhead <= *f).collect();
             let feasible: Vec<&Candidate> =
                 in_budget.iter().copied().filter(|c| c.meets_bw).collect();
-            if let Some(best) = feasible
-                .iter()
-                .max_by(|a, b| a.overhead.total_cmp(&b.overhead))
-            {
+            if let Some(best) = feasible.iter().max_by(|a, b| a.overhead.total_cmp(&b.overhead)) {
                 (*best).clone()
-            } else if let Some(best) = in_budget
-                .iter()
-                .max_by(|a, b| a.encode_mb_s.total_cmp(&b.encode_mb_s))
+            } else if let Some(best) =
+                in_budget.iter().max_by(|a, b| a.encode_mb_s.total_cmp(&b.encode_mb_s))
             {
                 notes.push(format!(
                     "no in-budget configuration reaches the throughput floor; \
@@ -176,9 +166,7 @@ pub fn joint_optimizer_with(
                 // a warning is attached (Fig 12a's RS-at-0.05 case).
                 let best = candidates
                     .iter()
-                    .min_by(|a, b| {
-                        (a.overhead - f).abs().total_cmp(&(b.overhead - f).abs())
-                    })
+                    .min_by(|a, b| (a.overhead - f).abs().total_cmp(&(b.overhead - f).abs()))
                     .expect("non-empty");
                 notes.push(format!(
                     "memory constraint {f} is below every admitted configuration; \
@@ -190,9 +178,10 @@ pub fn joint_optimizer_with(
         }
         (MemoryConstraint::Any, ThroughputConstraint::MbPerS(floor)) => {
             let feasible: Vec<&Candidate> = candidates.iter().filter(|c| c.meets_bw).collect();
-            if let Some(best) = feasible.iter().min_by(|a, b| {
-                (a.encode_mb_s - floor).total_cmp(&(b.encode_mb_s - floor))
-            }) {
+            if let Some(best) = feasible
+                .iter()
+                .min_by(|a, b| (a.encode_mb_s - floor).total_cmp(&(b.encode_mb_s - floor)))
+            {
                 // Above but closest to the floor — the strongest protection
                 // that still keeps pace (Fig 11b).
                 (*best).clone()
@@ -443,10 +432,7 @@ mod tests {
         let table = synthetic_table(&space, 40);
         let sel = joint_optimizer(&table, &space, &EncodeRequest::default(), 40).unwrap();
         assert_eq!(sel.config.method(), EccMethod::Rs);
-        let max_overhead = space
-            .iter()
-            .map(|c| c.storage_overhead())
-            .fold(0.0f64, f64::max);
+        let max_overhead = space.iter().map(|c| c.storage_overhead()).fold(0.0f64, f64::max);
         assert!((sel.overhead - max_overhead).abs() < 1e-12);
     }
 

@@ -69,7 +69,13 @@ impl TrainingTable {
     }
 
     /// Record (or merge) an observation.
-    pub fn record(&mut self, config: &EccConfig, threads: usize, encode_mb_s: f64, decode_mb_s: f64) {
+    pub fn record(
+        &mut self,
+        config: &EccConfig,
+        threads: usize,
+        encode_mb_s: f64,
+        decode_mb_s: f64,
+    ) {
         self.entries
             .entry((config.id(), threads))
             .and_modify(|m| m.merge(encode_mb_s, decode_mb_s))
@@ -79,11 +85,7 @@ impl TrainingTable {
     /// Thread counts measured for a configuration, ascending.
     pub fn thread_counts(&self, config: &EccConfig) -> Vec<usize> {
         let id = config.id();
-        self.entries
-            .keys()
-            .filter(|(cid, _)| *cid == id)
-            .map(|(_, t)| *t)
-            .collect()
+        self.entries.keys().filter(|(cid, _)| *cid == id).map(|(_, t)| *t).collect()
     }
 
     /// Distinct configurations present in the table.
@@ -114,12 +116,17 @@ impl TrainingTable {
                 .map_err(|e| ArcError::Io(format!("create {parent:?}: {e}")))?;
         }
         let mut f = std::io::BufWriter::new(
-            std::fs::File::create(path).map_err(|e| ArcError::Io(format!("create {path:?}: {e}")))?,
+            std::fs::File::create(path)
+                .map_err(|e| ArcError::Io(format!("create {path:?}: {e}")))?,
         );
         writeln!(f, "{CACHE_HEADER}").map_err(|e| ArcError::Io(e.to_string()))?;
         for ((id, threads), m) in &self.entries {
-            writeln!(f, "{id}\t{threads}\t{:.6}\t{:.6}\t{}", m.encode_mb_s, m.decode_mb_s, m.samples)
-                .map_err(|e| ArcError::Io(e.to_string()))?;
+            writeln!(
+                f,
+                "{id}\t{threads}\t{:.6}\t{:.6}\t{}",
+                m.encode_mb_s, m.decode_mb_s, m.samples
+            )
+            .map_err(|e| ArcError::Io(e.to_string()))?;
         }
         Ok(())
     }
@@ -127,7 +134,8 @@ impl TrainingTable {
     /// Load a cache file, tolerating (and skipping) corrupt lines — the
     /// cache itself lives on the same failure-prone storage ARC protects.
     pub fn load(path: &Path) -> Result<TrainingTable, ArcError> {
-        let f = std::fs::File::open(path).map_err(|e| ArcError::Io(format!("open {path:?}: {e}")))?;
+        let f =
+            std::fs::File::open(path).map_err(|e| ArcError::Io(format!("open {path:?}: {e}")))?;
         let reader = std::io::BufReader::new(f);
         let mut table = TrainingTable::new();
         for line in reader.lines() {
@@ -139,30 +147,24 @@ impl TrainingTable {
                 continue;
             }
             let mut parts = line.split('\t');
-            let (Some(id), Some(t), Some(enc), Some(dec), Some(n)) = (
-                parts.next(),
-                parts.next(),
-                parts.next(),
-                parts.next(),
-                parts.next(),
-            ) else {
+            let (Some(id), Some(t), Some(enc), Some(dec), Some(n)) =
+                (parts.next(), parts.next(), parts.next(), parts.next(), parts.next())
+            else {
                 continue;
             };
             let Ok(config) = EccConfig::parse_id(id) else { continue };
-            let (Ok(t), Ok(enc), Ok(dec), Ok(n)) = (
-                t.parse::<usize>(),
-                enc.parse::<f64>(),
-                dec.parse::<f64>(),
-                n.parse::<u32>(),
-            ) else {
+            let (Ok(t), Ok(enc), Ok(dec), Ok(n)) =
+                (t.parse::<usize>(), enc.parse::<f64>(), dec.parse::<f64>(), n.parse::<u32>())
+            else {
                 continue;
             };
             if !enc.is_finite() || !dec.is_finite() || enc < 0.0 || dec < 0.0 || t == 0 {
                 continue;
             }
-            table
-                .entries
-                .insert((config.id(), t), Measurement { encode_mb_s: enc, decode_mb_s: dec, samples: n.max(1) });
+            table.entries.insert(
+                (config.id(), t),
+                Measurement { encode_mb_s: enc, decode_mb_s: dec, samples: n.max(1) },
+            );
         }
         Ok(table)
     }

@@ -1,0 +1,94 @@
+//! Engine-level allocation accounting: the container encode path allocates
+//! one full-size buffer plus a small constant (header scratch), and the
+//! in-place decode path never makes a full-buffer copy on clean data.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use arc_core::engine::{arc_engine_decode, arc_engine_encode};
+use arc_core::interface::decode_in_place_with_threads;
+use arc_ecc::EccConfig;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+static BYTES: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        BYTES.fetch_add(layout.size(), Ordering::SeqCst);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        BYTES.fetch_add(layout.size(), Ordering::SeqCst);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        BYTES.fetch_add(new_size, Ordering::SeqCst);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static A: CountingAlloc = CountingAlloc;
+
+fn counted<R>(f: impl FnOnce() -> R) -> (R, usize, usize) {
+    let allocs0 = ALLOCS.load(Ordering::SeqCst);
+    let bytes0 = BYTES.load(Ordering::SeqCst);
+    let r = f();
+    (r, ALLOCS.load(Ordering::SeqCst) - allocs0, BYTES.load(Ordering::SeqCst) - bytes0)
+}
+
+#[test]
+fn engine_container_path_allocation_bounds() {
+    // 2.5 MiB → three chunks at the default 1 MiB chunk size, so any
+    // per-chunk allocation or concat pass would show up as extra
+    // buffer-scale bytes.
+    let data: Vec<u8> = (0..2_621_440).map(|i| ((i * 131) ^ (i >> 7)) as u8).collect();
+    let cfg = EccConfig::secded(true);
+
+    // Warm lazily-initialized code tables (Hamming layouts, header RS).
+    let warm = arc_engine_encode(&data[..4096], cfg, 1).unwrap();
+    arc_engine_decode(&warm, 1).unwrap();
+
+    // Encode: one container allocation plus small header scratch.
+    let (encoded, allocs, bytes) = counted(|| arc_engine_encode(&data, cfg, 1).unwrap());
+    assert!(
+        bytes < encoded.len() + 8192,
+        "encode allocated {bytes} bytes for a {} byte container — more than one full buffer",
+        encoded.len()
+    );
+    // Header serialization + duplicated RS header coding costs a constant
+    // number of small allocations; the chunk loop itself contributes none.
+    assert!(allocs < 128, "encode made {allocs} allocations — expected a small constant");
+
+    // Clean in-place decode: no full-buffer copy, only header-scale scratch.
+    let mut owned = encoded.clone();
+    let ((range, report), _, bytes) =
+        counted(|| decode_in_place_with_threads(&mut owned, 1).unwrap());
+    assert!(report.correction.is_clean());
+    assert!(
+        bytes < 8192,
+        "clean in-place decode allocated {bytes} bytes — should be header scratch only"
+    );
+    assert_eq!(&owned[range], &data[..]);
+
+    // The borrowing decode pays one payload-sized copy and nothing else
+    // buffer-scale.
+    let ((out, _), _, bytes) = counted(|| arc_engine_decode(&encoded, 1).unwrap());
+    assert_eq!(out, data);
+    assert!(
+        bytes < encoded.len() + 8192,
+        "borrowing decode allocated {bytes} bytes for a {} byte container",
+        encoded.len()
+    );
+}

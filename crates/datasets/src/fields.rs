@@ -121,7 +121,7 @@ pub fn cesm_cldlow(rows: usize, cols: usize, seed: u64) -> Field {
             let u = c as f32 / cols as f32;
             let v = r as f32 / rows as f32;
             let n = fbm.sample(u, v, 0.0); // roughly [-1, 1]
-            // Sharpen into patchy cover and clamp to a physical fraction.
+                                           // Sharpen into patchy cover and clamp to a physical fraction.
             let val = (band + 0.75 * n).clamp(0.0, 1.0);
             data.push(val);
         }
@@ -132,7 +132,7 @@ pub fn cesm_cldlow(rows: usize, cols: usize, seed: u64) -> Field {
 /// Hurricane Isabel pressure: a synoptic-scale gradient, fBm weather, and a
 /// deep axisymmetric vortex low whose centre drifts with height.
 pub fn isabel_pressure(nz: usize, ny: usize, nx: usize, seed: u64) -> Field {
-    let fbm = Fbm::new(seed ^ 0x15AB_E1, 4, 5, 0.5, 3);
+    let fbm = Fbm::new(seed ^ 0x0015_ABE1, 4, 5, 0.5, 3);
     let mut data = Vec::with_capacity(nz * ny * nx);
     for z in 0..nz {
         let w = z as f32 / nz.max(1) as f32;
@@ -167,7 +167,7 @@ pub fn nyx_temperature(nz: usize, ny: usize, nx: usize, seed: u64) -> Field {
             for x in 0..nx {
                 let u = x as f32 / nx as f32;
                 let d = density.sample(u, v, w); // [-1, 1]
-                // Filaments: sharpen |d| near 0 → hot sheets.
+                                                 // Filaments: sharpen |d| near 0 → hot sheets.
                 let filament = (1.0 - d.abs()).powi(4);
                 let log_t = 3.0 + 2.5 * filament + 1.2 * d;
                 data.push(10f32.powf(log_t));

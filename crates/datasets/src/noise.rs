@@ -47,16 +47,10 @@ impl ValueNoise {
         let cy = y.clamp(0.0, (self.ny - 1) as f32 - 1e-3);
         let cz = z.clamp(0.0, (self.nz - 1) as f32 - 1e-3);
         let (x0, y0, z0) = (cx as usize, cy as usize, cz as usize);
-        let (tx, ty, tz) = (
-            smoothstep(cx - x0 as f32),
-            smoothstep(cy - y0 as f32),
-            smoothstep(cz - z0 as f32),
-        );
-        let (x1, y1, z1) = (
-            (x0 + 1).min(self.nx - 1),
-            (y0 + 1).min(self.ny - 1),
-            (z0 + 1).min(self.nz - 1),
-        );
+        let (tx, ty, tz) =
+            (smoothstep(cx - x0 as f32), smoothstep(cy - y0 as f32), smoothstep(cz - z0 as f32));
+        let (x1, y1, z1) =
+            ((x0 + 1).min(self.nx - 1), (y0 + 1).min(self.ny - 1), (z0 + 1).min(self.nz - 1));
         let lerp = |a: f32, b: f32, t: f32| a + (b - a) * t;
         let c00 = lerp(self.at(x0, y0, z0), self.at(x1, y0, z0), tx);
         let c10 = lerp(self.at(x0, y1, z0), self.at(x1, y1, z0), tx);

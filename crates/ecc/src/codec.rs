@@ -109,6 +109,21 @@ pub trait EccScheme: Send + Sync {
     /// Compute the parity region for `data`.
     fn encode_parity(&self, data: &[u8]) -> Vec<u8>;
 
+    /// Scatter-write form of [`EccScheme::encode_parity`]: write the parity
+    /// for `data` directly into the caller-provided slice.
+    ///
+    /// `parity` must be exactly `parity_len(data.len())` bytes and may hold
+    /// arbitrary garbage on entry — implementations overwrite every byte.
+    /// This is the hot path of the zero-copy pipeline: [`crate::ParallelCodec`]
+    /// carves one pre-allocated container into disjoint chunk regions and
+    /// calls this method from its workers, so native implementations must not
+    /// allocate. The default falls back to [`EccScheme::encode_parity`] plus
+    /// a copy so extension schemes that only implement the `Vec` form keep
+    /// working.
+    fn encode_parity_into(&self, data: &[u8], parity: &mut [u8]) {
+        parity.copy_from_slice(&self.encode_parity(data));
+    }
+
     /// Verify `data` against `parity`, repairing both in place when possible.
     ///
     /// Returns what was repaired, or [`EccError::Uncorrectable`] when damage
@@ -120,22 +135,18 @@ pub trait EccScheme: Send + Sync {
         parity: &mut [u8],
     ) -> Result<CorrectionReport, EccError>;
 
-    /// What this scheme can detect/correct.
-    fn capability(&self) -> Capability;
-
-    /// Convenience: full encode producing `data ‖ parity`.
-    fn encode(&self, data: &[u8]) -> Vec<u8> {
-        let mut out = Vec::with_capacity(data.len() + self.parity_len(data.len()));
-        out.extend_from_slice(data);
-        out.extend_from_slice(&self.encode_parity(data));
-        out
-    }
-
-    /// Convenience: split an encoded buffer, verify/correct, return the data.
+    /// In-place form of [`EccScheme::verify_and_correct`] over one contiguous
+    /// `data ‖ parity` buffer: split at `data_len`, verify, and repair both
+    /// regions without copying either out.
     ///
-    /// `data_len` is the original (unencoded) length, which the caller must
-    /// persist (ARC's container header does).
-    fn decode(&self, encoded: &[u8], data_len: usize) -> Result<(Vec<u8>, CorrectionReport), EccError> {
+    /// The default delegates to `verify_and_correct` on the two halves of a
+    /// `split_at_mut`, which is already copy-free; schemes only override this
+    /// when they can exploit the contiguous layout further.
+    fn verify_and_correct_in_place(
+        &self,
+        encoded: &mut [u8],
+        data_len: usize,
+    ) -> Result<CorrectionReport, EccError> {
         let plen = self.parity_len(data_len);
         if encoded.len() != data_len + plen {
             return Err(EccError::Malformed {
@@ -148,10 +159,36 @@ pub trait EccScheme: Send + Sync {
                 ),
             });
         }
-        let mut data = encoded[..data_len].to_vec();
-        let mut parity = encoded[data_len..].to_vec();
-        let report = self.verify_and_correct(&mut data, &mut parity)?;
-        Ok((data, report))
+        let (data, parity) = encoded.split_at_mut(data_len);
+        self.verify_and_correct(data, parity)
+    }
+
+    /// What this scheme can detect/correct.
+    fn capability(&self) -> Capability;
+
+    /// Convenience: full encode producing `data ‖ parity` in one allocation.
+    fn encode(&self, data: &[u8]) -> Vec<u8> {
+        let mut out = vec![0u8; data.len() + self.parity_len(data.len())];
+        let (d, p) = out.split_at_mut(data.len());
+        d.copy_from_slice(data);
+        self.encode_parity_into(data, p);
+        out
+    }
+
+    /// Convenience: copy an encoded buffer once, verify/correct it in place,
+    /// and return the data region.
+    ///
+    /// `data_len` is the original (unencoded) length, which the caller must
+    /// persist (ARC's container header does).
+    fn decode(
+        &self,
+        encoded: &[u8],
+        data_len: usize,
+    ) -> Result<(Vec<u8>, CorrectionReport), EccError> {
+        let mut buf = encoded.to_vec();
+        let report = self.verify_and_correct_in_place(&mut buf, data_len)?;
+        buf.truncate(data_len);
+        Ok((buf, report))
     }
 }
 
@@ -161,7 +198,8 @@ mod tests {
 
     #[test]
     fn report_merge_accumulates() {
-        let mut a = CorrectionReport { corrected_bits: 1, corrected_devices: 0, blocks_checked: 10 };
+        let mut a =
+            CorrectionReport { corrected_bits: 1, corrected_devices: 0, blocks_checked: 10 };
         let b = CorrectionReport { corrected_bits: 2, corrected_devices: 3, blocks_checked: 5 };
         a.merge(&b);
         assert_eq!(a.corrected_bits, 3);
@@ -202,12 +240,22 @@ impl EccScheme for std::sync::Arc<dyn EccScheme> {
     fn encode_parity(&self, data: &[u8]) -> Vec<u8> {
         (**self).encode_parity(data)
     }
+    fn encode_parity_into(&self, data: &[u8], parity: &mut [u8]) {
+        (**self).encode_parity_into(data, parity)
+    }
     fn verify_and_correct(
         &self,
         data: &mut [u8],
         parity: &mut [u8],
     ) -> Result<CorrectionReport, EccError> {
         (**self).verify_and_correct(data, parity)
+    }
+    fn verify_and_correct_in_place(
+        &self,
+        encoded: &mut [u8],
+        data_len: usize,
+    ) -> Result<CorrectionReport, EccError> {
+        (**self).verify_and_correct_in_place(encoded, data_len)
     }
     fn capability(&self) -> Capability {
         (**self).capability()

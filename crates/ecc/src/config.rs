@@ -159,8 +159,8 @@ impl EccConfig {
         out.push(EccConfig::secded(true));
         // m = round(255·o / (1+o)) for a ladder of overhead targets o.
         let targets = [
-            0.01, 0.02, 0.05, 0.08, 0.10, 0.125, 0.15, 0.175, 0.20, 0.25, 0.30, 0.35, 0.40,
-            0.45, 0.50, 0.55, 0.60, 0.65, 0.70, 0.75, 0.80, 0.85, 0.90, 0.95, 1.00,
+            0.01, 0.02, 0.05, 0.08, 0.10, 0.125, 0.15, 0.175, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45,
+            0.50, 0.55, 0.60, 0.65, 0.70, 0.75, 0.80, 0.85, 0.90, 0.95, 1.00,
         ];
         let mut last_m = 0usize;
         for o in targets {
@@ -193,12 +193,24 @@ impl EccScheme for EccConfig {
         self.as_scheme().encode_parity(data)
     }
 
+    fn encode_parity_into(&self, data: &[u8], parity: &mut [u8]) {
+        self.as_scheme().encode_parity_into(data, parity)
+    }
+
     fn verify_and_correct(
         &self,
         data: &mut [u8],
         parity: &mut [u8],
     ) -> Result<CorrectionReport, EccError> {
         self.as_scheme().verify_and_correct(data, parity)
+    }
+
+    fn verify_and_correct_in_place(
+        &self,
+        encoded: &mut [u8],
+        data_len: usize,
+    ) -> Result<CorrectionReport, EccError> {
+        self.as_scheme().verify_and_correct_in_place(encoded, data_len)
     }
 
     fn capability(&self) -> Capability {
@@ -227,7 +239,18 @@ mod tests {
 
     #[test]
     fn parse_rejects_garbage() {
-        for bad in ["", "foo:1", "parity", "parity:0", "parity:x", "hamming:12", "rs:0:4", "rs:4", "parity:8:9", "rs:300:10"] {
+        for bad in [
+            "",
+            "foo:1",
+            "parity",
+            "parity:0",
+            "parity:x",
+            "hamming:12",
+            "rs:0:4",
+            "rs:4",
+            "parity:8:9",
+            "rs:300:10",
+        ] {
             assert!(EccConfig::parse_id(bad).is_err(), "{bad:?} should fail");
         }
     }

@@ -32,8 +32,8 @@ fn tables() -> &'static Tables {
         let mut exp = [0u8; 512];
         let mut log = [0u8; 256];
         let mut x: u16 = 1;
-        for i in 0..GROUP_ORDER {
-            exp[i] = x as u8;
+        for (i, e) in exp.iter_mut().enumerate().take(GROUP_ORDER) {
+            *e = x as u8;
             log[x as usize] = i as u8;
             x <<= 1;
             if x & 0x100 != 0 {
@@ -53,6 +53,10 @@ fn tables() -> &'static Tables {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Gf(pub u8);
 
+// Inherent `add`/`sub`/`mul`/`div` are deliberate: field arithmetic stays
+// explicit at call sites (`a.mul(b)` over GF, never machine arithmetic) and
+// the names shadow the operator traits on purpose.
+#[allow(clippy::should_implement_trait)]
 impl Gf {
     /// The additive identity.
     pub const ZERO: Gf = Gf(0);
@@ -95,8 +99,7 @@ impl Gf {
             return Gf::ZERO;
         }
         let t = tables();
-        let idx = t.log[self.0 as usize] as usize + GROUP_ORDER
-            - t.log[rhs.0 as usize] as usize;
+        let idx = t.log[self.0 as usize] as usize + GROUP_ORDER - t.log[rhs.0 as usize] as usize;
         Gf(t.exp[idx])
     }
 
@@ -306,7 +309,7 @@ impl Poly {
         r.trim();
         let d = rhs.coeffs.len() - 1;
         let lead_inv = rhs.coeffs[d].inv();
-        while !r.is_zero() && r.coeffs.len() - 1 >= d {
+        while !r.is_zero() && r.coeffs.len() > d {
             let shift = r.coeffs.len() - 1 - d;
             let c = r.coeffs.last().copied().unwrap().mul(lead_inv);
             for i in 0..=d {

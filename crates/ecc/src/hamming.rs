@@ -178,20 +178,26 @@ impl EccScheme for Hamming {
     }
 
     fn encode_parity(&self, data: &[u8]) -> Vec<u8> {
+        let mut parity = vec![0u8; self.parity_len(data.len())];
+        self.encode_parity_into(data, &mut parity);
+        parity
+    }
+
+    fn encode_parity_into(&self, data: &[u8], parity: &mut [u8]) {
+        assert_eq!(parity.len(), self.parity_len(data.len()), "parity region size mismatch");
+        parity.fill(0);
         let lay = layout(self.width);
         let r = lay.r as u64;
         let blocks = self.blocks(data.len());
-        let mut parity = vec![0u8; self.parity_len(data.len())];
         for i in 0..blocks {
             let p = lay.parity_of(load_block(data, i, self.width));
             let base = i as u64 * r;
             for bit in 0..lay.r {
                 if p & (1 << bit) != 0 {
-                    set_bit(&mut parity, base + bit as u64, true);
+                    set_bit(parity, base + bit as u64, true);
                 }
             }
         }
-        parity
     }
 
     fn verify_and_correct(
@@ -202,7 +208,10 @@ impl EccScheme for Hamming {
         let expected = self.parity_len(data.len());
         if parity.len() != expected {
             return Err(EccError::Malformed {
-                detail: format!("hamming parity region {} bytes, expected {expected}", parity.len()),
+                detail: format!(
+                    "hamming parity region {} bytes, expected {expected}",
+                    parity.len()
+                ),
             });
         }
         let lay = layout(self.width);
@@ -226,7 +235,9 @@ impl EccScheme for Hamming {
             if syndrome > lay.n {
                 return Err(EccError::Uncorrectable {
                     scheme: "hamming",
-                    detail: format!("impossible syndrome {syndrome} in block {i} (multi-bit error)"),
+                    detail: format!(
+                        "impossible syndrome {syndrome} in block {i} (multi-bit error)"
+                    ),
                 });
             }
             match lay.pos_to_databit[syndrome as usize] {

@@ -94,14 +94,20 @@ impl EccScheme for InterleavedSecDed {
     }
 
     fn encode_parity(&self, data: &[u8]) -> Vec<u8> {
-        let mut parity = Vec::with_capacity(self.parity_len(data.len()));
+        let mut parity = vec![0u8; self.parity_len(data.len())];
+        self.encode_parity_into(data, &mut parity);
+        parity
+    }
+
+    fn encode_parity_into(&self, data: &[u8], parity: &mut [u8]) {
+        assert_eq!(parity.len(), self.parity_len(data.len()), "parity region size mismatch");
+        let mut out = parity.iter_mut();
         for block in data.chunks(self.super_bytes()) {
             for j in 0..self.depth {
-                parity.push(Self::parity_bits_of(self.gather(block, j)));
+                *out.next().expect("parity_len covers every lane") =
+                    Self::parity_bits_of(self.gather(block, j));
             }
         }
-        parity.resize(self.parity_len(data.len()), 0);
-        parity
     }
 
     fn verify_and_correct(
@@ -142,7 +148,9 @@ impl EccScheme for InterleavedSecDed {
                         if syn > lay.n {
                             return Err(EccError::Uncorrectable {
                                 scheme: "interleaved-secded",
-                                detail: format!("impossible syndrome {syn} (superblock {s}, lane {j})"),
+                                detail: format!(
+                                    "impossible syndrome {syn} (superblock {s}, lane {j})"
+                                ),
                             });
                         }
                         match lay.pos_to_databit[syn as usize] {

@@ -50,8 +50,8 @@ pub mod prelude {
     pub use crate::codec::{Capability, CorrectionReport, EccError, EccScheme};
     pub use crate::config::{EccConfig, EccMethod};
     pub use crate::hamming::{BlockWidth, Hamming};
-    pub use crate::parallel::{ParallelCodec, ThroughputSample, DEFAULT_CHUNK_SIZE};
     pub use crate::interleave::InterleavedSecDed;
+    pub use crate::parallel::{ParallelCodec, ThroughputSample, ANY_THREADS, DEFAULT_CHUNK_SIZE};
     pub use crate::parity::Parity;
     pub use crate::replication::Replication;
     pub use crate::rs::ReedSolomon;

@@ -11,6 +11,15 @@
 //! length is a pure function of the chunk length, offsets are computable on
 //! both sides without per-chunk headers, keeping overhead at exactly the
 //! scheme's own rate.
+//!
+//! The data path is zero-copy scatter-write: [`ParallelCodec::encode_into`]
+//! carves a caller-provided buffer into disjoint `&mut [u8]` regions (one
+//! data chunk and one parity region per chunk) and each worker writes its
+//! regions in place via [`EccScheme::encode_parity_into`] — no per-chunk
+//! allocation and no concatenation pass. [`ParallelCodec::encode`] is a thin
+//! wrapper that makes exactly one heap allocation for the whole container.
+//! On the read side [`ParallelCodec::decode_in_place`] verifies and repairs
+//! the payload where it lies; a clean decode copies nothing.
 
 use rayon::prelude::*;
 
@@ -20,6 +29,24 @@ use crate::config::EccConfig;
 /// Default chunk size (1 MiB): large enough to amortize dispatch, small
 /// enough that a 26 MB CESM buffer spreads across 26+ threads.
 pub const DEFAULT_CHUNK_SIZE: usize = 1 << 20;
+
+/// Thread-count sentinel: `0` means "use every available hardware thread".
+///
+/// Every ARC entry point that takes a `threads: usize` accepts this value;
+/// it is resolved exactly once, in [`ParallelCodec::with_chunk_size`], via
+/// [`std::thread::available_parallelism`]. Passing an explicit `n >= 1`
+/// always means exactly `n` workers.
+pub const ANY_THREADS: usize = 0;
+
+/// Resolve a caller-supplied thread count: [`ANY_THREADS`] becomes the
+/// machine's available parallelism (or 1 if that cannot be determined).
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == ANY_THREADS {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    }
+}
 
 /// A chunk-parallel codec for one ECC scheme at a fixed thread count.
 ///
@@ -45,20 +72,23 @@ impl<S: EccScheme + std::fmt::Debug> std::fmt::Debug for ParallelCodec<S> {
 
 impl<S: EccScheme> ParallelCodec<S> {
     /// Create a codec running on `threads` worker threads (1 = in-line
-    /// sequential execution, no pool is spawned).
+    /// sequential execution, no pool is spawned; [`ANY_THREADS`] = all
+    /// available hardware threads).
     pub fn new(config: S, threads: usize) -> Result<ParallelCodec<S>, EccError> {
         Self::with_chunk_size(config, threads, DEFAULT_CHUNK_SIZE)
     }
 
     /// As [`ParallelCodec::new`] with an explicit chunk size.
+    ///
+    /// This is the single choke point where [`ANY_THREADS`] is resolved to a
+    /// concrete worker count; [`ParallelCodec::threads`] always reports the
+    /// resolved value.
     pub fn with_chunk_size(
         config: S,
         threads: usize,
         chunk_size: usize,
     ) -> Result<ParallelCodec<S>, EccError> {
-        if threads == 0 {
-            return Err(EccError::InvalidConfig("thread count must be >= 1".into()));
-        }
+        let threads = resolve_threads(threads);
         if chunk_size == 0 {
             return Err(EccError::InvalidConfig("chunk size must be >= 1".into()));
         }
@@ -81,7 +111,7 @@ impl<S: EccScheme> ParallelCodec<S> {
         &self.config
     }
 
-    /// Worker threads in use.
+    /// Worker threads in use (always ≥ 1; [`ANY_THREADS`] has been resolved).
     pub fn threads(&self) -> usize {
         self.threads
     }
@@ -106,60 +136,74 @@ impl<S: EccScheme> ParallelCodec<S> {
         total
     }
 
-    /// Per-chunk parity lengths, in chunk order.
-    fn parity_lens(&self, data_len: usize) -> Vec<usize> {
-        let mut lens = Vec::with_capacity(data_len.div_ceil(self.chunk_size).max(1));
-        let mut remaining = data_len;
-        while remaining > 0 {
-            let c = remaining.min(self.chunk_size);
-            lens.push(self.config.parity_len(c));
-            remaining -= c;
-        }
-        lens
-    }
-
-    /// Encode `data`, returning `data ‖ parity regions`.
-    pub fn encode(&self, data: &[u8]) -> Vec<u8> {
-        let parity_lens = self.parity_lens(data.len());
-        let total_parity: usize = parity_lens.iter().sum();
-        let mut out = Vec::with_capacity(data.len() + total_parity);
-        out.extend_from_slice(data);
-        out.resize(data.len() + total_parity, 0);
-        let (_, parity_all) = out.split_at_mut(data.len());
-        let mut jobs: Vec<(&[u8], &mut [u8])> = Vec::with_capacity(parity_lens.len());
-        let mut parity_rest = parity_all;
-        for (chunk, &plen) in data.chunks(self.chunk_size).zip(&parity_lens) {
-            let (p, rest) = parity_rest.split_at_mut(plen);
-            parity_rest = rest;
-            jobs.push((chunk, p));
-        }
-        let run = |jobs: &mut Vec<(&[u8], &mut [u8])>| {
-            jobs.par_iter_mut().for_each(|(chunk, parity)| {
-                let p = self.config.encode_parity(chunk);
-                parity.copy_from_slice(&p);
-            });
-        };
+    /// Scatter-write `data ‖ parity regions` into `out`, which must be
+    /// exactly [`ParallelCodec::encoded_len`] bytes. `out` may hold
+    /// arbitrary garbage; every byte is overwritten.
+    ///
+    /// On the sequential path (1 thread) this performs no heap allocation;
+    /// with a pool, workers write their disjoint regions concurrently and
+    /// only the job list itself is allocated.
+    pub fn encode_into(&self, data: &[u8], out: &mut [u8]) {
+        let expected = self.encoded_len(data.len());
+        assert_eq!(out.len(), expected, "encode_into: output buffer size mismatch");
+        let (data_out, parity_all) = out.split_at_mut(data.len());
         match &self.pool {
-            Some(pool) => pool.install(|| run(&mut jobs)),
+            Some(pool) => {
+                let mut jobs: Vec<(&[u8], &mut [u8], &mut [u8])> =
+                    Vec::with_capacity(data.len().div_ceil(self.chunk_size));
+                let mut data_rest = data_out;
+                let mut parity_rest = parity_all;
+                for chunk in data.chunks(self.chunk_size) {
+                    let (d, rest) = data_rest.split_at_mut(chunk.len());
+                    data_rest = rest;
+                    let (p, rest) = parity_rest.split_at_mut(self.config.parity_len(chunk.len()));
+                    parity_rest = rest;
+                    jobs.push((chunk, d, p));
+                }
+                pool.install(|| {
+                    jobs.par_iter_mut().for_each(|(src, dst, parity)| {
+                        dst.copy_from_slice(src);
+                        self.config.encode_parity_into(src, parity);
+                    });
+                });
+            }
             None => {
-                for (chunk, parity) in &mut jobs {
-                    parity.copy_from_slice(&self.config.encode_parity(chunk));
+                data_out.copy_from_slice(data);
+                let mut parity_rest = parity_all;
+                for chunk in data.chunks(self.chunk_size) {
+                    let (p, rest) = parity_rest.split_at_mut(self.config.parity_len(chunk.len()));
+                    parity_rest = rest;
+                    self.config.encode_parity_into(chunk, p);
                 }
             }
         }
+    }
+
+    /// Encode `data`, returning `data ‖ parity regions`.
+    ///
+    /// Makes exactly one heap allocation — the returned container — and
+    /// scatter-writes into it via [`ParallelCodec::encode_into`].
+    pub fn encode(&self, data: &[u8]) -> Vec<u8> {
+        let mut out = vec![0u8; self.encoded_len(data.len())];
+        self.encode_into(data, &mut out);
         out
     }
 
-    /// Decode an encoded buffer, verifying and repairing every chunk.
+    /// Verify and repair an encoded buffer in place.
     ///
     /// `data_len` is the original input length (persisted by ARC's
-    /// container). Returns the repaired data and a merged report, or the
-    /// first uncorrectable chunk's error.
-    pub fn decode(
+    /// container). On success the first `data_len` bytes of `encoded` are
+    /// the repaired data; a clean pass leaves the buffer untouched and, on
+    /// the sequential path, performs no full-buffer copy and no allocation
+    /// for the schemes whose verify paths are allocation-free.
+    ///
+    /// On error the buffer contents are unspecified (chunks preceding the
+    /// failed one may already have been repaired).
+    pub fn decode_in_place(
         &self,
-        encoded: &[u8],
+        encoded: &mut [u8],
         data_len: usize,
-    ) -> Result<(Vec<u8>, CorrectionReport), EccError> {
+    ) -> Result<CorrectionReport, EccError> {
         let expected = self.encoded_len(data_len);
         if encoded.len() != expected {
             return Err(EccError::Malformed {
@@ -169,33 +213,57 @@ impl<S: EccScheme> ParallelCodec<S> {
                 ),
             });
         }
+        let (data_all, parity_all) = encoded.split_at_mut(data_len);
+        match &self.pool {
+            Some(pool) => {
+                let mut jobs: Vec<(&mut [u8], &mut [u8])> =
+                    Vec::with_capacity(data_len.div_ceil(self.chunk_size));
+                let mut parity_rest = parity_all;
+                for chunk in data_all.chunks_mut(self.chunk_size) {
+                    let (p, rest) = parity_rest.split_at_mut(self.config.parity_len(chunk.len()));
+                    parity_rest = rest;
+                    jobs.push((chunk, p));
+                }
+                let results: Vec<Result<CorrectionReport, EccError>> = pool.install(|| {
+                    jobs.par_iter_mut()
+                        .map(|(chunk, parity)| self.config.verify_and_correct(chunk, parity))
+                        .collect()
+                });
+                let mut merged = CorrectionReport::default();
+                for r in results {
+                    merged.merge(&r?);
+                }
+                Ok(merged)
+            }
+            None => {
+                let mut merged = CorrectionReport::default();
+                let mut parity_rest = parity_all;
+                for chunk in data_all.chunks_mut(self.chunk_size) {
+                    let (p, rest) = parity_rest.split_at_mut(self.config.parity_len(chunk.len()));
+                    parity_rest = rest;
+                    merged.merge(&self.config.verify_and_correct(chunk, p)?);
+                }
+                Ok(merged)
+            }
+        }
+    }
+
+    /// Decode an encoded buffer, verifying and repairing every chunk.
+    ///
+    /// Borrowing convenience wrapper over
+    /// [`ParallelCodec::decode_in_place`]: copies `encoded` once into the
+    /// returned buffer, repairs it in place, and truncates to the data.
+    /// Returns the repaired data and a merged report, or the first
+    /// uncorrectable chunk's error.
+    pub fn decode(
+        &self,
+        encoded: &[u8],
+        data_len: usize,
+    ) -> Result<(Vec<u8>, CorrectionReport), EccError> {
         let mut buf = encoded.to_vec();
-        let (data_all, parity_all) = buf.split_at_mut(data_len);
-        let parity_lens = self.parity_lens(data_len);
-        let mut jobs: Vec<(&mut [u8], &mut [u8])> = Vec::with_capacity(parity_lens.len());
-        let mut parity_rest = parity_all;
-        for (chunk, &plen) in data_all.chunks_mut(self.chunk_size).zip(&parity_lens) {
-            let (p, rest) = parity_rest.split_at_mut(plen);
-            parity_rest = rest;
-            jobs.push((chunk, p));
-        }
-        let results: Vec<Result<CorrectionReport, EccError>> = match &self.pool {
-            Some(pool) => pool.install(|| {
-                jobs.par_iter_mut()
-                    .map(|(chunk, parity)| self.config.verify_and_correct(chunk, parity))
-                    .collect()
-            }),
-            None => jobs
-                .iter_mut()
-                .map(|(chunk, parity)| self.config.verify_and_correct(chunk, parity))
-                .collect(),
-        };
-        let mut merged = CorrectionReport::default();
-        for r in results {
-            merged.merge(&r?);
-        }
+        let report = self.decode_in_place(&mut buf, data_len)?;
         buf.truncate(data_len);
-        Ok((buf, merged))
+        Ok((buf, report))
     }
 }
 
@@ -219,7 +287,13 @@ impl ThroughputSample {
 }
 
 /// Encode while timing; used by ARC's training phase and the Fig 8 harness.
-pub fn timed_encode<S: EccScheme>(codec: &ParallelCodec<S>, data: &[u8]) -> (Vec<u8>, ThroughputSample) {
+///
+/// Times the real single-allocation scatter-write path, so TrainingTable
+/// throughput reflects what [`ParallelCodec::encode`] actually does.
+pub fn timed_encode<S: EccScheme>(
+    codec: &ParallelCodec<S>,
+    data: &[u8],
+) -> (Vec<u8>, ThroughputSample) {
     let t0 = std::time::Instant::now();
     let out = codec.encode(data);
     let sample = ThroughputSample { bytes: data.len(), seconds: t0.elapsed().as_secs_f64() };
@@ -250,8 +324,58 @@ mod tests {
     #[test]
     fn rejects_bad_parameters() {
         let cfg = EccConfig::hamming(true);
-        assert!(ParallelCodec::new(cfg, 0).is_err());
         assert!(ParallelCodec::with_chunk_size(cfg, 1, 0).is_err());
+    }
+
+    #[test]
+    fn any_threads_resolves_to_available_parallelism() {
+        let cfg = EccConfig::hamming(true);
+        let codec = ParallelCodec::new(cfg, ANY_THREADS).unwrap();
+        assert!(codec.threads() >= 1);
+        let expect = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        assert_eq!(codec.threads(), expect);
+        // And the codec actually works at the resolved count.
+        let data = sample(10_000);
+        let enc = codec.encode(&data);
+        let (out, _) = codec.decode(&enc, data.len()).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn encode_into_overwrites_garbage_and_matches_encode() {
+        let data = sample(70_000);
+        for cfg in
+            [EccConfig::parity(4).unwrap(), EccConfig::secded(true), EccConfig::rs(16, 4).unwrap()]
+        {
+            for threads in [1usize, 4] {
+                let codec = ParallelCodec::with_chunk_size(cfg, threads, 16 * 1024).unwrap();
+                let reference = codec.encode(&data);
+                let mut out = vec![0xA5u8; codec.encoded_len(data.len())];
+                codec.encode_into(&data, &mut out);
+                assert_eq!(out, reference, "{cfg} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "output buffer size mismatch")]
+    fn encode_into_rejects_wrong_buffer_size() {
+        let codec = ParallelCodec::new(EccConfig::hamming(false), 1).unwrap();
+        let data = sample(100);
+        let mut out = vec![0u8; codec.encoded_len(data.len()) - 1];
+        codec.encode_into(&data, &mut out);
+    }
+
+    #[test]
+    fn decode_in_place_repairs_without_moving_data() {
+        let cfg = EccConfig::secded(true);
+        let codec = ParallelCodec::with_chunk_size(cfg, 2, 8 * 1024).unwrap();
+        let data = sample(50_000);
+        let mut enc = codec.encode(&data);
+        flip_bit(&mut enc, 4242);
+        let report = codec.decode_in_place(&mut enc, data.len()).unwrap();
+        assert_eq!(report.corrected_bits, 1);
+        assert_eq!(&enc[..data.len()], &data[..]);
     }
 
     #[test]
@@ -308,10 +432,7 @@ mod tests {
         let data = sample(5000);
         let mut enc = codec.encode(&data);
         flip_bit(&mut enc, 12345);
-        assert!(matches!(
-            codec.decode(&enc, data.len()),
-            Err(EccError::Uncorrectable { .. })
-        ));
+        assert!(matches!(codec.decode(&enc, data.len()), Err(EccError::Uncorrectable { .. })));
     }
 
     #[test]

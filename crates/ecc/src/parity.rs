@@ -58,12 +58,18 @@ impl EccScheme for Parity {
 
     fn encode_parity(&self, data: &[u8]) -> Vec<u8> {
         let mut parity = vec![0u8; self.parity_len(data.len())];
+        self.encode_parity_into(data, &mut parity);
+        parity
+    }
+
+    fn encode_parity_into(&self, data: &[u8], parity: &mut [u8]) {
+        assert_eq!(parity.len(), self.parity_len(data.len()), "parity region size mismatch");
+        parity.fill(0);
         for (i, block) in data.chunks(self.bytes_per_parity_bit).enumerate() {
             if Self::block_parity(block) {
-                set_bit(&mut parity, i as u64, true);
+                set_bit(parity, i as u64, true);
             }
         }
-        parity
     }
 
     fn verify_and_correct(
@@ -84,7 +90,10 @@ impl EccScheme for Parity {
             }
         }
         if bad_blocks.is_empty() {
-            Ok(CorrectionReport { blocks_checked: self.blocks(data.len()) as u64, ..Default::default() })
+            Ok(CorrectionReport {
+                blocks_checked: self.blocks(data.len()) as u64,
+                ..Default::default()
+            })
         } else {
             Err(EccError::Uncorrectable {
                 scheme: "parity",

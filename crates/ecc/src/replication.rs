@@ -54,15 +54,24 @@ impl EccScheme for Replication {
     }
 
     fn encode_parity(&self, data: &[u8]) -> Vec<u8> {
-        let mut parity = Vec::with_capacity(self.parity_len(data.len()));
-        for _ in 1..self.copies {
-            parity.extend_from_slice(data);
-        }
-        let crc = crc32(data);
-        for _ in 0..self.copies {
-            parity.extend_from_slice(&crc.to_le_bytes());
-        }
+        let mut parity = vec![0u8; self.parity_len(data.len())];
+        self.encode_parity_into(data, &mut parity);
         parity
+    }
+
+    fn encode_parity_into(&self, data: &[u8], parity: &mut [u8]) {
+        assert_eq!(parity.len(), self.parity_len(data.len()), "parity region size mismatch");
+        let n = data.len();
+        let (replicas, crc_table) = parity.split_at_mut((self.copies - 1) * n);
+        if n > 0 {
+            for replica in replicas.chunks_exact_mut(n) {
+                replica.copy_from_slice(data);
+            }
+        }
+        let crc = crc32(data).to_le_bytes();
+        for slot in crc_table.chunks_exact_mut(4) {
+            slot.copy_from_slice(&crc);
+        }
     }
 
     fn verify_and_correct(
@@ -74,17 +83,19 @@ impl EccScheme for Replication {
         let expected = self.parity_len(n);
         if parity.len() != expected {
             return Err(EccError::Malformed {
-                detail: format!("replication parity region {} bytes, expected {expected}", parity.len()),
+                detail: format!(
+                    "replication parity region {} bytes, expected {expected}",
+                    parity.len()
+                ),
             });
         }
         let (replicas, crc_table) = parity.split_at_mut((self.copies - 1) * n);
         // Majority-vote the stored CRC.
-        let crcs: Vec<u32> = crc_table
-            .chunks_exact(4)
-            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
-            .collect();
+        let crcs: Vec<u32> =
+            crc_table.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())).collect();
         let voted_crc = majority(&crcs);
-        let mut report = CorrectionReport { blocks_checked: self.copies as u64, ..Default::default() };
+        let mut report =
+            CorrectionReport { blocks_checked: self.copies as u64, ..Default::default() };
         // Fast path: the primary copy checks out.
         if let Some(vc) = voted_crc {
             if crc32(data) == vc {
@@ -123,7 +134,8 @@ impl EccScheme for Replication {
             for r in 0..self.copies - 1 {
                 bump(replicas[r * n + i], &mut counts);
             }
-            let (winner, votes) = counts.iter().copied().max_by_key(|&(_, c)| c).expect("non-empty");
+            let (winner, votes) =
+                counts.iter().copied().max_by_key(|&(_, c)| c).expect("non-empty");
             if votes * 2 <= self.copies {
                 return Err(EccError::Uncorrectable {
                     scheme: "replication",
@@ -157,12 +169,7 @@ impl EccScheme for Replication {
 
 /// Majority element of a small slice, if any.
 fn majority(values: &[u32]) -> Option<u32> {
-    for &v in values {
-        if values.iter().filter(|&&x| x == v).count() * 2 > values.len() {
-            return Some(v);
-        }
-    }
-    None
+    values.iter().find(|&&v| values.iter().filter(|&&x| x == v).count() * 2 > values.len()).copied()
 }
 
 /// After the data is known-good, rewrite damaged replicas and CRC entries.

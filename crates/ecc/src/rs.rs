@@ -129,12 +129,12 @@ impl ReedSolomon {
         // Gauss-Jordan with partial pivoting over GF(2^8); row operations are
         // mirrored onto the rhs device vectors.
         for col in 0..t {
-            let pivot_row = (col..t)
-                .find(|&r| a[r * t + col] != Gf::ZERO)
-                .ok_or_else(|| EccError::Uncorrectable {
+            let pivot_row = (col..t).find(|&r| a[r * t + col] != Gf::ZERO).ok_or_else(|| {
+                EccError::Uncorrectable {
                     scheme: "rs",
                     detail: "singular erasure system (should be impossible for Cauchy)".into(),
-                })?;
+                }
+            })?;
             if pivot_row != col {
                 for c in 0..t {
                     a.swap(pivot_row * t + c, col * t + c);
@@ -186,11 +186,18 @@ impl EccScheme for ReedSolomon {
     }
 
     fn encode_parity(&self, data: &[u8]) -> Vec<u8> {
-        if data.is_empty() {
-            return vec![];
-        }
-        let d = self.device_size(data.len());
         let mut parity = vec![0u8; self.parity_len(data.len())];
+        self.encode_parity_into(data, &mut parity);
+        parity
+    }
+
+    fn encode_parity_into(&self, data: &[u8], parity: &mut [u8]) {
+        assert_eq!(parity.len(), self.parity_len(data.len()), "parity region size mismatch");
+        if data.is_empty() {
+            return;
+        }
+        parity.fill(0);
+        let d = self.device_size(data.len());
         let (parity_devs, crc_table) = parity.split_at_mut(self.m * d);
         for j in 0..self.m {
             let dev = &mut parity_devs[j * d..(j + 1) * d];
@@ -210,7 +217,6 @@ impl EccScheme for ReedSolomon {
             let idx = self.k + j;
             crc_table[idx * CRC_LEN..(idx + 1) * CRC_LEN].copy_from_slice(&c.to_le_bytes());
         }
-        parity
     }
 
     fn verify_and_correct(
@@ -251,10 +257,8 @@ impl EccScheme for ReedSolomon {
             }
         }
         let total_bad = bad_data.len() + bad_parity.len();
-        let mut report = CorrectionReport {
-            blocks_checked: (self.k + self.m) as u64,
-            ..Default::default()
-        };
+        let mut report =
+            CorrectionReport { blocks_checked: (self.k + self.m) as u64, ..Default::default() };
         if total_bad == 0 {
             return Ok(report);
         }
@@ -433,10 +437,7 @@ mod tests {
         for dev in [0usize, 2, 4] {
             bad[dev * d] ^= 0xFF;
         }
-        assert!(matches!(
-            rs.decode(&bad, data.len()),
-            Err(EccError::Uncorrectable { .. })
-        ));
+        assert!(matches!(rs.decode(&bad, data.len()), Err(EccError::Uncorrectable { .. })));
     }
 
     #[test]

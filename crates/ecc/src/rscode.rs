@@ -128,9 +128,8 @@ impl RsCodeword {
         let synd_poly = Poly::from_coeffs(synd.clone());
         let x_nsym = Poly::constant(Gf::ONE).shift(self.nsym);
         let modified = synd_poly.mul(&gamma).rem(&x_nsym);
-        let forney = Poly::from_coeffs(
-            (erasures.len()..self.nsym).map(|i| modified.coeff(i)).collect(),
-        );
+        let forney =
+            Poly::from_coeffs((erasures.len()..self.nsym).map(|i| modified.coeff(i)).collect());
         let sigma = self.berlekamp_massey(&forney, erasures.len())?;
         // Combined errata locator.
         let locator = sigma.mul(&gamma);

@@ -62,24 +62,30 @@ impl EccScheme for SecDed {
     }
 
     fn encode_parity(&self, data: &[u8]) -> Vec<u8> {
+        let mut parity = vec![0u8; self.parity_len(data.len())];
+        self.encode_parity_into(data, &mut parity);
+        parity
+    }
+
+    fn encode_parity_into(&self, data: &[u8], parity: &mut [u8]) {
+        assert_eq!(parity.len(), self.parity_len(data.len()), "parity region size mismatch");
+        parity.fill(0);
         let lay = layout(self.width);
         let pb = self.parity_bits() as u64;
         let blocks = self.blocks(data.len());
-        let mut parity = vec![0u8; self.parity_len(data.len())];
         for i in 0..blocks {
             let block = load_block(data, i, self.width);
             let ham = lay.parity_of(block);
             let base = i as u64 * pb;
             for bit in 0..lay.r {
                 if ham & (1 << bit) != 0 {
-                    set_bit(&mut parity, base + bit as u64, true);
+                    set_bit(parity, base + bit as u64, true);
                 }
             }
             if Self::overall(block, ham) {
-                set_bit(&mut parity, base + lay.r as u64, true);
+                set_bit(parity, base + lay.r as u64, true);
             }
         }
-        parity
     }
 
     fn verify_and_correct(
@@ -136,7 +142,9 @@ impl EccScheme for SecDed {
                             if bit >= tail_bits {
                                 return Err(EccError::Uncorrectable {
                                     scheme: "secded",
-                                    detail: format!("syndrome points into tail padding of block {i}"),
+                                    detail: format!(
+                                        "syndrome points into tail padding of block {i}"
+                                    ),
                                 });
                             }
                             block ^= 1u64 << bit;
@@ -235,10 +243,7 @@ mod tests {
                 let mut bad = enc.clone();
                 flip_bit(&mut bad, a);
                 flip_bit(&mut bad, b);
-                assert!(
-                    s.decode(&bad, data.len()).is_err(),
-                    "double flip ({a},{b}) not detected"
-                );
+                assert!(s.decode(&bad, data.len()).is_err(), "double flip ({a},{b}) not detected");
             }
         }
     }

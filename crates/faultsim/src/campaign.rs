@@ -173,10 +173,7 @@ mod tests {
             z_avg < 40.0,
             "ZFP-Rate average incorrect elements {z_avg} should stay near one block"
         );
-        assert!(
-            s_avg > z_avg,
-            "SZ propagation ({s_avg}) should exceed ZFP-Rate ({z_avg})"
-        );
+        assert!(s_avg > z_avg, "SZ propagation ({s_avg}) should exceed ZFP-Rate ({z_avg})");
     }
 
     #[test]

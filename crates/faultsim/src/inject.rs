@@ -62,9 +62,7 @@ pub fn stride_bits(total_bits: u64, count: usize) -> Vec<u64> {
         return vec![];
     }
     let count = count.min(total_bits as usize);
-    (0..count)
-        .map(|i| (i as u64 * total_bits) / count as u64)
-        .collect()
+    (0..count).map(|i| (i as u64 * total_bits) / count as u64).collect()
 }
 
 /// Inject `count` random *correctable-by-construction* bit flips into

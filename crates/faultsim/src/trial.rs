@@ -149,9 +149,8 @@ impl<'a> TrialContext<'a> {
         };
         let (status, decoded) = status_and_data;
         let metrics = decoded.map(|d| {
-            let incorrect = self
-                .eval_bound
-                .map(|b| arc_pressio::incorrect_elements(self.original, &d.data, b));
+            let incorrect =
+                self.eval_bound.map(|b| arc_pressio::incorrect_elements(self.original, &d.data, b));
             TrialMetrics {
                 percent_incorrect: incorrect
                     .map(|c| 100.0 * c as f64 / self.original.len().max(1) as f64),

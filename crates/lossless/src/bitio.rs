@@ -144,9 +144,7 @@ pub fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, LosslessError> 
     let mut v = 0u64;
     let mut shift = 0u32;
     loop {
-        let b = *bytes
-            .get(*pos)
-            .ok_or_else(|| LosslessError::truncated("varint truncated"))?;
+        let b = *bytes.get(*pos).ok_or_else(|| LosslessError::truncated("varint truncated"))?;
         *pos += 1;
         if shift >= 64 {
             return Err(LosslessError::malformed("varint too long"));

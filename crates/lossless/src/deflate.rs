@@ -24,31 +24,68 @@ const SYM_LEN_BASE: u32 = 257;
 
 /// Length buckets: (base, extra bits), covering `MIN_MATCH..=MAX_MATCH`.
 const LEN_BUCKETS: [(u32, u32); 26] = [
-    (4, 0), (5, 0), (6, 0), (7, 0), (8, 0), (9, 0), (10, 0),
-    (11, 1), (13, 1), (15, 1), (17, 1),
-    (19, 2), (23, 2), (27, 2), (31, 2),
-    (35, 3), (43, 3), (51, 3), (59, 3),
-    (67, 4), (83, 4), (99, 4), (115, 4),
-    (131, 5), (163, 5), (195, 6),
+    (4, 0),
+    (5, 0),
+    (6, 0),
+    (7, 0),
+    (8, 0),
+    (9, 0),
+    (10, 0),
+    (11, 1),
+    (13, 1),
+    (15, 1),
+    (17, 1),
+    (19, 2),
+    (23, 2),
+    (27, 2),
+    (31, 2),
+    (35, 3),
+    (43, 3),
+    (51, 3),
+    (59, 3),
+    (67, 4),
+    (83, 4),
+    (99, 4),
+    (115, 4),
+    (131, 5),
+    (163, 5),
+    (195, 6),
 ];
 
 /// Distance buckets: (base, extra bits), covering `1..=65536`.
 const DIST_BUCKETS: [(u32, u32); 32] = [
-    (1, 0), (2, 0), (3, 0), (4, 0),
-    (5, 1), (7, 1),
-    (9, 2), (13, 2),
-    (17, 3), (25, 3),
-    (33, 4), (49, 4),
-    (65, 5), (97, 5),
-    (129, 6), (193, 6),
-    (257, 7), (385, 7),
-    (513, 8), (769, 8),
-    (1025, 9), (1537, 9),
-    (2049, 10), (3073, 10),
-    (4097, 11), (6145, 11),
-    (8193, 12), (12289, 12),
-    (16385, 13), (24577, 13),
-    (32769, 14), (49153, 14),
+    (1, 0),
+    (2, 0),
+    (3, 0),
+    (4, 0),
+    (5, 1),
+    (7, 1),
+    (9, 2),
+    (13, 2),
+    (17, 3),
+    (25, 3),
+    (33, 4),
+    (49, 4),
+    (65, 5),
+    (97, 5),
+    (129, 6),
+    (193, 6),
+    (257, 7),
+    (385, 7),
+    (513, 8),
+    (769, 8),
+    (1025, 9),
+    (1537, 9),
+    (2049, 10),
+    (3073, 10),
+    (4097, 11),
+    (6145, 11),
+    (8193, 12),
+    (12289, 12),
+    (16385, 13),
+    (24577, 13),
+    (32769, 14),
+    (49153, 14),
 ];
 
 const LITLEN_ALPHABET: usize = SYM_LEN_BASE as usize + LEN_BUCKETS.len();
@@ -219,9 +256,7 @@ mod tests {
 
     #[test]
     fn text_round_trip_and_compression() {
-        let data = "lossy compression reduces data size considerably. "
-            .repeat(100)
-            .into_bytes();
+        let data = "lossy compression reduces data size considerably. ".repeat(100).into_bytes();
         let c = round_trip(&data);
         assert!(c.len() < data.len() / 4, "{} vs {}", c.len(), data.len());
     }
@@ -237,9 +272,8 @@ mod tests {
 
     #[test]
     fn incompressible_random_round_trips() {
-        let data: Vec<u8> = (0..5000u64)
-            .map(|i| (i.wrapping_mul(0x9E3779B97F4A7C15) >> 33) as u8)
-            .collect();
+        let data: Vec<u8> =
+            (0..5000u64).map(|i| (i.wrapping_mul(0x9E3779B97F4A7C15) >> 33) as u8).collect();
         round_trip(&data);
     }
 

@@ -50,10 +50,7 @@ impl HuffmanCode {
             fn cmp(&self, other: &Self) -> std::cmp::Ordering {
                 // Reverse for min-heap; tiebreak on creation order for
                 // determinism and balanced depth.
-                other
-                    .weight
-                    .cmp(&self.weight)
-                    .then(other.order.cmp(&self.order))
+                other.weight.cmp(&self.weight).then(other.order.cmp(&self.order))
             }
         }
         impl PartialOrd for Node {
@@ -75,11 +72,7 @@ impl HuffmanCode {
             parent.push(usize::MAX);
             parent[a.id] = id;
             parent[b.id] = id;
-            heap.push(Node {
-                weight: a.weight.saturating_add(b.weight),
-                order: next_order,
-                id,
-            });
+            heap.push(Node { weight: a.weight.saturating_add(b.weight), order: next_order, id });
             next_order += 1;
         }
         let root = heap.pop().expect("non-empty").id;
@@ -158,7 +151,8 @@ impl HuffmanCode {
     /// Serialize the table (alphabet size + sparse nonzero lengths).
     pub fn serialize(&self, out: &mut Vec<u8>) {
         write_varint(out, self.lengths.len() as u64);
-        let nonzero: Vec<usize> = (0..self.lengths.len()).filter(|&i| self.lengths[i] > 0).collect();
+        let nonzero: Vec<usize> =
+            (0..self.lengths.len()).filter(|&i| self.lengths[i] > 0).collect();
         write_varint(out, nonzero.len() as u64);
         let mut prev = 0u64;
         for &i in &nonzero {
@@ -182,7 +176,12 @@ impl HuffmanCode {
         let mut sym = 0u64;
         for i in 0..count {
             let delta = read_varint(bytes, pos)?;
-            sym = if i == 0 { delta } else { sym.checked_add(delta).ok_or_else(|| LosslessError::malformed("symbol index overflow"))? };
+            sym = if i == 0 {
+                delta
+            } else {
+                sym.checked_add(delta)
+                    .ok_or_else(|| LosslessError::malformed("symbol index overflow"))?
+            };
             if sym >= alphabet {
                 return Err(LosslessError::malformed("symbol index out of alphabet"));
             }
@@ -206,9 +205,8 @@ impl HuffmanCode {
                 count[l as usize] += 1;
             }
         }
-        let mut symbols_by_len: Vec<u32> = (0..self.lengths.len() as u32)
-            .filter(|&s| self.lengths[s as usize] > 0)
-            .collect();
+        let mut symbols_by_len: Vec<u32> =
+            (0..self.lengths.len() as u32).filter(|&s| self.lengths[s as usize] > 0).collect();
         symbols_by_len.sort_by_key(|&s| (self.lengths[s as usize], s));
         let mut first_code = vec![0u64; (max_len + 2) as usize];
         let mut first_index = vec![0u64; (max_len + 2) as usize];
@@ -338,7 +336,8 @@ mod tests {
 
     #[test]
     fn skewed_code_is_shorter_than_uniform() {
-        let skewed: Vec<u32> = (0..4096).map(|i| if i % 100 == 0 { (i / 100) % 256 } else { 0 }).collect();
+        let skewed: Vec<u32> =
+            (0..4096).map(|i| if i % 100 == 0 { (i / 100) % 256 } else { 0 }).collect();
         let uniform: Vec<u32> = (0..4096u32).map(|i| i % 256).collect();
         let a = huffman_encode_block(&skewed, 256).unwrap();
         let b = huffman_encode_block(&uniform, 256).unwrap();

@@ -107,14 +107,8 @@ pub fn tokenize(data: &[u8], cfg: &Lz77Config) -> Vec<Token> {
             Some((len, dist)) => {
                 // Lazy evaluation: prefer a longer match starting one byte on.
                 insert(&mut head, &mut prev, i);
-                let take = if i + 1 < n {
-                    match find(&head, &prev, i + 1) {
-                        Some((len2, _)) if len2 > len + 1 => false,
-                        _ => true,
-                    }
-                } else {
-                    true
-                };
+                let take = i + 1 >= n
+                    || !matches!(find(&head, &prev, i + 1), Some((len2, _)) if len2 > len + 1);
                 if take {
                     tokens.push(Token::Match { len: len as u32, dist: dist as u32 });
                     for j in i + 1..i + len {
@@ -206,9 +200,8 @@ mod tests {
     #[test]
     fn incompressible_data_is_all_literals() {
         // Pseudo-random bytes with no 4-byte repeats.
-        let data: Vec<u8> = (0..2000u64)
-            .map(|i| ((i.wrapping_mul(0x9E3779B97F4A7C15)) >> 56) as u8)
-            .collect();
+        let data: Vec<u8> =
+            (0..2000u64).map(|i| ((i.wrapping_mul(0x9E3779B97F4A7C15)) >> 56) as u8).collect();
         let tokens = tokenize(&data, &Lz77Config::default());
         assert_eq!(reconstruct(&tokens).unwrap(), data);
     }

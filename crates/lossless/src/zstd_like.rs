@@ -241,15 +241,15 @@ mod tests {
 
     #[test]
     fn random_bytes_round_trip() {
-        let data: Vec<u8> = (0..9000u64)
-            .map(|i| (i.wrapping_mul(0xD1B54A32D192ED03) >> 40) as u8)
-            .collect();
+        let data: Vec<u8> =
+            (0..9000u64).map(|i| (i.wrapping_mul(0xD1B54A32D192ED03) >> 40) as u8).collect();
         round_trip(&data);
     }
 
     #[test]
     fn large_structured_input() {
-        let data: Vec<u8> = (0..200_000).map(|i| (((i / 17) % 251) as u8) ^ (i % 3) as u8).collect();
+        let data: Vec<u8> =
+            (0..200_000).map(|i| (((i / 17) % 251) as u8) ^ (i % 3) as u8).collect();
         round_trip(&data);
     }
 

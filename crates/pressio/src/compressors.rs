@@ -169,12 +169,14 @@ impl CompressorSpec {
     pub fn build(&self) -> Box<dyn Compressor> {
         match *self {
             CompressorSpec::SzAbs(e) => Box::new(SzCompressor::new(arc_sz::ErrorBound::Abs(e))),
-            CompressorSpec::SzPwRel(e) => {
-                Box::new(SzCompressor::new(arc_sz::ErrorBound::PwRel(e)))
-            }
+            CompressorSpec::SzPwRel(e) => Box::new(SzCompressor::new(arc_sz::ErrorBound::PwRel(e))),
             CompressorSpec::SzPsnr(p) => Box::new(SzCompressor::new(arc_sz::ErrorBound::Psnr(p))),
-            CompressorSpec::ZfpAcc(e) => Box::new(ZfpCompressor { mode: arc_zfp::ZfpMode::FixedAccuracy(e) }),
-            CompressorSpec::ZfpRate(r) => Box::new(ZfpCompressor { mode: arc_zfp::ZfpMode::FixedRate(r) }),
+            CompressorSpec::ZfpAcc(e) => {
+                Box::new(ZfpCompressor { mode: arc_zfp::ZfpMode::FixedAccuracy(e) })
+            }
+            CompressorSpec::ZfpRate(r) => {
+                Box::new(ZfpCompressor { mode: arc_zfp::ZfpMode::FixedRate(r) })
+            }
             CompressorSpec::GzipLike => Box::new(LosslessCompressor { zstd: false }),
             CompressorSpec::ZstdLike => Box::new(LosslessCompressor { zstd: true }),
         }
@@ -211,10 +213,7 @@ impl Compressor for SzCompressor {
         bytes: &[u8],
         max_elements: u64,
     ) -> Result<DecodedDataset, PressioError> {
-        let out = arc_sz::decompress_with_limits(
-            bytes,
-            &arc_sz::DecodeLimits { max_elements },
-        )?;
+        let out = arc_sz::decompress_with_limits(bytes, &arc_sz::DecodeLimits { max_elements })?;
         Ok(DecodedDataset { data: out.data, dims: out.dims })
     }
 
@@ -252,10 +251,7 @@ impl Compressor for ZfpCompressor {
         bytes: &[u8],
         max_elements: u64,
     ) -> Result<DecodedDataset, PressioError> {
-        let out = arc_zfp::decompress_with_limits(
-            bytes,
-            &arc_zfp::DecodeLimits { max_elements },
-        )?;
+        let out = arc_zfp::decompress_with_limits(bytes, &arc_zfp::DecodeLimits { max_elements })?;
         Ok(DecodedDataset { data: out.data, dims: out.dims })
     }
 
@@ -277,7 +273,11 @@ pub struct LosslessCompressor {
 
 impl Compressor for LosslessCompressor {
     fn name(&self) -> String {
-        if self.zstd { "zstd-like".into() } else { "gzip-like".into() }
+        if self.zstd {
+            "zstd-like".into()
+        } else {
+            "gzip-like".into()
+        }
     }
 
     fn compress(&self, ds: &Dataset<'_>) -> Result<Vec<u8>, PressioError> {
@@ -342,10 +342,8 @@ impl Compressor for LosslessCompressor {
                 raw.len() - pos
             )));
         }
-        let data: Vec<f32> = raw[pos..]
-            .chunks_exact(4)
-            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
-            .collect();
+        let data: Vec<f32> =
+            raw[pos..].chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect();
         Ok(DecodedDataset { data, dims })
     }
 
@@ -404,11 +402,9 @@ mod tests {
     fn timeout_classification_propagates() {
         let data = field(64 * 64);
         let ds = Dataset { data: &data, dims: &[64, 64] };
-        for spec in [
-            CompressorSpec::SzAbs(0.01),
-            CompressorSpec::ZfpAcc(0.01),
-            CompressorSpec::ZstdLike,
-        ] {
+        for spec in
+            [CompressorSpec::SzAbs(0.01), CompressorSpec::ZfpAcc(0.01), CompressorSpec::ZstdLike]
+        {
             let c = spec.build();
             let packed = c.compress(&ds).unwrap();
             let err = c.decompress_with_limit(&packed, 16).unwrap_err();
@@ -459,7 +455,9 @@ impl CompressorSpec {
         };
         let num = |what: &str| -> Result<f64, PressioError> {
             param
-                .ok_or_else(|| PressioError::Codec(format!("{family} needs {what}, e.g. {family}:0.1")))?
+                .ok_or_else(|| {
+                    PressioError::Codec(format!("{family} needs {what}, e.g. {family}:0.1"))
+                })?
                 .parse::<f64>()
                 .map_err(|_| PressioError::Codec(format!("bad {what} in {spec:?}")))
         };
@@ -477,7 +475,8 @@ impl CompressorSpec {
                 )))
             }
         };
-        if param.is_some() && matches!(parsed, CompressorSpec::GzipLike | CompressorSpec::ZstdLike) {
+        if param.is_some() && matches!(parsed, CompressorSpec::GzipLike | CompressorSpec::ZstdLike)
+        {
             return Err(PressioError::Codec(format!("{family} takes no parameter")));
         }
         Ok(parsed)

@@ -28,7 +28,7 @@ pub use compressors::{
     SzCompressor, ZfpCompressor,
 };
 pub use metrics::{
-    compression_ratio, incorrect_elements, integrity_report, max_abs_diff, percent_incorrect,
-    psnr, rmse, value_range, BoundSpec, IntegrityReport, RunningStats,
+    compression_ratio, incorrect_elements, integrity_report, max_abs_diff, percent_incorrect, psnr,
+    rmse, value_range, BoundSpec, IntegrityReport, RunningStats,
 };
 pub use tuning::{tune_for_ratio, TunedBound};

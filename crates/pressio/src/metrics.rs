@@ -100,11 +100,7 @@ pub fn max_abs_diff(original: &[f32], decoded: &[f32]) -> f64 {
 /// Count of elements violating the bound.
 pub fn incorrect_elements(original: &[f32], decoded: &[f32], bound: BoundSpec) -> usize {
     assert_eq!(original.len(), decoded.len());
-    original
-        .iter()
-        .zip(decoded)
-        .filter(|(a, b)| !bound.holds(**a, **b))
-        .count()
+    original.iter().zip(decoded).filter(|(a, b)| !bound.holds(**a, **b)).count()
 }
 
 /// Percentage (0–100) of elements violating the bound.

@@ -101,8 +101,8 @@ const CODE_LITERAL: u32 = 0;
 
 /// Compress `data` (row-major, `dims` slowest-first) under `cfg`.
 pub fn compress(data: &[f32], dims: &[usize], cfg: &SzConfig) -> Result<Vec<u8>, SzError> {
-    let shape = GridShape::new(dims)
-        .ok_or_else(|| SzError::Malformed(format!("invalid dims {dims:?}")))?;
+    let shape =
+        GridShape::new(dims).ok_or_else(|| SzError::Malformed(format!("invalid dims {dims:?}")))?;
     if shape.len() != data.len() {
         return Err(SzError::Malformed(format!(
             "dims {:?} describe {} elements but {} provided",
@@ -172,7 +172,11 @@ pub fn compress(data: &[f32], dims: &[usize], cfg: &SzConfig) -> Result<Vec<u8>,
                 // Verify against the *final f32 output* the decoder produces.
                 let out = if plan.log_domain {
                     let mag = q_recon.exp() as f32;
-                    if x < 0.0 { -mag } else { mag }
+                    if x < 0.0 {
+                        -mag
+                    } else {
+                        mag
+                    }
                 } else {
                     q_recon as f32
                 };
@@ -193,7 +197,11 @@ pub fn compress(data: &[f32], dims: &[usize], cfg: &SzConfig) -> Result<Vec<u8>,
             recon[idx] = if !x.is_finite() {
                 0.0
             } else if plan.log_domain {
-                if x == 0.0 { pred } else { (x.abs() as f64).ln() }
+                if x == 0.0 {
+                    pred
+                } else {
+                    (x.abs() as f64).ln()
+                }
             } else {
                 x as f64
             };
@@ -203,8 +211,7 @@ pub fn compress(data: &[f32], dims: &[usize], cfg: &SzConfig) -> Result<Vec<u8>,
     // Assemble the body, then run the ZStd-like final pass over it (§2.1.1's
     // third step).
     let mut body = Vec::new();
-    let code_block = huffman_encode_block(&codes, cfg.quant_bins + 1)
-        .map_err(SzError::Lossless)?;
+    let code_block = huffman_encode_block(&codes, cfg.quant_bins + 1).map_err(SzError::Lossless)?;
     write_varint(&mut body, code_block.len() as u64);
     body.extend_from_slice(&code_block);
     write_varint(&mut body, literals.len() as u64);
@@ -215,11 +222,8 @@ pub fn compress(data: &[f32], dims: &[usize], cfg: &SzConfig) -> Result<Vec<u8>,
         body.extend_from_slice(&zero_mask);
         body.extend_from_slice(&sign_mask);
     }
-    let packed_body = if cfg.final_lossless {
-        arc_lossless::zstd_like::compress(&body)
-    } else {
-        body
-    };
+    let packed_body =
+        if cfg.final_lossless { arc_lossless::zstd_like::compress(&body) } else { body };
 
     let header = Header {
         bound: cfg.bound,
@@ -283,7 +287,11 @@ pub fn decompress_with_limits(bytes: &[u8], limits: &DecodeLimits) -> Result<SzD
     codes.resize(n, zero_quantum_code);
     let n_literals = read_varint(&body, &mut bpos)? as usize;
     let lit_end = bpos
-        .checked_add(n_literals.checked_mul(4).ok_or_else(|| SzError::Malformed("literal count overflow".into()))?)
+        .checked_add(
+            n_literals
+                .checked_mul(4)
+                .ok_or_else(|| SzError::Malformed("literal count overflow".into()))?,
+        )
         .filter(|&e| e <= body.len())
         .ok_or_else(|| SzError::Malformed("literal section out of range".into()))?;
     let mut literals = Vec::with_capacity(n_literals.min(1 << 22));
@@ -327,7 +335,11 @@ pub fn decompress_with_limits(bytes: &[u8], limits: &DecodeLimits) -> Result<SzD
             recon[idx] = if !x.is_finite() {
                 0.0
             } else if header.log_domain {
-                if x == 0.0 { pred } else { (x.abs() as f64).ln() }
+                if x == 0.0 {
+                    pred
+                } else {
+                    (x.abs() as f64).ln()
+                }
             } else {
                 x as f64
             };
@@ -341,7 +353,11 @@ pub fn decompress_with_limits(bytes: &[u8], limits: &DecodeLimits) -> Result<SzD
                 0.0
             } else if header.log_domain {
                 let mag = r.exp() as f32;
-                if negative { -mag } else { mag }
+                if negative {
+                    -mag
+                } else {
+                    mag
+                }
             } else {
                 r as f32
             };
@@ -390,9 +406,7 @@ mod tests {
 
     #[test]
     fn pwrel_mode_respects_relative_bound() {
-        let data: Vec<f32> = (1..=4096)
-            .map(|i| (i as f32 * 0.01).exp() % 1000.0 + 0.001)
-            .collect();
+        let data: Vec<f32> = (1..=4096).map(|i| (i as f32 * 0.01).exp() % 1000.0 + 0.001).collect();
         let eps = 0.05;
         let cfg = SzConfig { bound: ErrorBound::PwRel(eps), ..Default::default() };
         let c = compress(&data, &[4096], &cfg).unwrap();
@@ -425,12 +439,8 @@ mod tests {
         let c = compress(&data, &[100, 100], &cfg).unwrap();
         let d = decompress(&c).unwrap();
         let n = data.len() as f64;
-        let mse: f64 = data
-            .iter()
-            .zip(&d.data)
-            .map(|(x, y)| (*x as f64 - *y as f64).powi(2))
-            .sum::<f64>()
-            / n;
+        let mse: f64 =
+            data.iter().zip(&d.data).map(|(x, y)| (*x as f64 - *y as f64).powi(2)).sum::<f64>() / n;
         let range = {
             let mut lo = f64::INFINITY;
             let mut hi = f64::NEG_INFINITY;
@@ -456,8 +466,18 @@ mod tests {
     #[test]
     fn looser_bound_compresses_more() {
         let data = smooth_2d(128, 128);
-        let tight = compress(&data, &[128, 128], &SzConfig { bound: ErrorBound::Abs(1e-5), ..Default::default() }).unwrap();
-        let loose = compress(&data, &[128, 128], &SzConfig { bound: ErrorBound::Abs(0.5), ..Default::default() }).unwrap();
+        let tight = compress(
+            &data,
+            &[128, 128],
+            &SzConfig { bound: ErrorBound::Abs(1e-5), ..Default::default() },
+        )
+        .unwrap();
+        let loose = compress(
+            &data,
+            &[128, 128],
+            &SzConfig { bound: ErrorBound::Abs(0.5), ..Default::default() },
+        )
+        .unwrap();
         assert!(loose.len() < tight.len());
     }
 
@@ -574,7 +594,8 @@ mod ablation_tests {
     #[test]
     fn no_lossless_pass_round_trips() {
         let data = smooth(64 * 64);
-        let cfg = SzConfig { final_lossless: false, bound: ErrorBound::Abs(1e-3), ..Default::default() };
+        let cfg =
+            SzConfig { final_lossless: false, bound: ErrorBound::Abs(1e-3), ..Default::default() };
         let c = compress(&data, &[64, 64], &cfg).unwrap();
         let d = decompress(&c).unwrap();
         for (a, b) in data.iter().zip(&d.data) {
@@ -585,7 +606,12 @@ mod ablation_tests {
     #[test]
     fn lossless_pass_improves_ratio() {
         let data = smooth(128 * 128);
-        let with = compress(&data, &[128, 128], &SzConfig { bound: ErrorBound::Abs(1e-2), ..Default::default() }).unwrap();
+        let with = compress(
+            &data,
+            &[128, 128],
+            &SzConfig { bound: ErrorBound::Abs(1e-2), ..Default::default() },
+        )
+        .unwrap();
         let without = compress(
             &data,
             &[128, 128],
@@ -664,8 +690,16 @@ mod predictor_integration_tests {
             .collect();
         let shape = GridShape::new(&[16384]).unwrap();
         assert_eq!(select_predictor(&data, &shape), PredictorKind::Lorenzo2);
-        let cfg2 = SzConfig { bound: ErrorBound::Abs(1e-3), predictor: Some(PredictorKind::Lorenzo2), ..Default::default() };
-        let cfg1 = SzConfig { bound: ErrorBound::Abs(1e-3), predictor: Some(PredictorKind::Lorenzo), ..Default::default() };
+        let cfg2 = SzConfig {
+            bound: ErrorBound::Abs(1e-3),
+            predictor: Some(PredictorKind::Lorenzo2),
+            ..Default::default()
+        };
+        let cfg1 = SzConfig {
+            bound: ErrorBound::Abs(1e-3),
+            predictor: Some(PredictorKind::Lorenzo),
+            ..Default::default()
+        };
         let s2 = compress(&data, &[16384], &cfg2).unwrap().len();
         let s1 = compress(&data, &[16384], &cfg1).unwrap().len();
         assert!(s2 <= s1, "lorenzo2 {s2} vs lorenzo {s1}");

@@ -18,7 +18,7 @@ pub struct GridShape {
 impl GridShape {
     /// Validate and build a shape.
     pub fn new(dims: &[usize]) -> Option<GridShape> {
-        if dims.is_empty() || dims.len() > 3 || dims.iter().any(|&d| d == 0) {
+        if dims.is_empty() || dims.len() > 3 || dims.contains(&0) {
             return None;
         }
         Some(GridShape { dims: dims.to_vec() })
@@ -185,10 +185,7 @@ mod tests {
             for j in 1..5 {
                 for k in 1..6 {
                     let idx = i * 30 + j * 6 + k;
-                    assert!(
-                        (p.predict(&recon, idx) - recon[idx]).abs() < 1e-12,
-                        "({i},{j},{k})"
-                    );
+                    assert!((p.predict(&recon, idx) - recon[idx]).abs() < 1e-12, "({i},{j},{k})");
                 }
             }
         }
@@ -330,7 +327,8 @@ mod predictor_selection_tests {
     fn lorenzo2_is_exact_on_quadratic_rows() {
         let shape = GridShape::new(&[64]).unwrap();
         let p = Predictor::new(PredictorKind::Lorenzo2, shape);
-        let recon: Vec<f64> = (0..64).map(|i| 0.5 * (i * i) as f64 + 3.0 * i as f64 + 7.0).collect();
+        let recon: Vec<f64> =
+            (0..64).map(|i| 0.5 * (i * i) as f64 + 3.0 * i as f64 + 7.0).collect();
         for idx in 3..64 {
             assert!((p.predict(&recon, idx) - recon[idx]).abs() < 1e-9, "idx {idx}");
         }
@@ -361,10 +359,12 @@ mod predictor_selection_tests {
 
     #[test]
     fn selection_prefers_lorenzo2_on_smooth_polynomials() {
-        let data: Vec<f32> = (0..4096).map(|i| {
-            let x = i as f32 / 64.0;
-            x * x * 0.1 + x
-        }).collect();
+        let data: Vec<f32> = (0..4096)
+            .map(|i| {
+                let x = i as f32 / 64.0;
+                x * x * 0.1 + x
+            })
+            .collect();
         let shape = GridShape::new(&[4096]).unwrap();
         assert_eq!(select_predictor(&data, &shape), PredictorKind::Lorenzo2);
     }

@@ -129,7 +129,7 @@ impl Header {
             dims.push(d as usize);
         }
         let quant_bins = read_varint(bytes, pos).map_err(SzError::from)? as usize;
-        if quant_bins < 4 || quant_bins > 1 << 24 {
+        if !(4..=1 << 24).contains(&quant_bins) {
             return Err(SzError::Malformed(format!("quantization bins {quant_bins} out of range")));
         }
         let _ = product;

@@ -19,7 +19,7 @@ pub struct Grid {
 impl Grid {
     /// Validate and construct.
     pub fn new(dims: &[usize]) -> Option<Grid> {
-        if dims.is_empty() || dims.len() > 3 || dims.iter().any(|&d| d == 0) {
+        if dims.is_empty() || dims.len() > 3 || dims.contains(&0) {
             return None;
         }
         Some(Grid { dims: dims.to_vec() })
@@ -74,9 +74,7 @@ impl Grid {
         debug_assert_eq!(block.len(), self.block_len());
         let origin = self.block_origin(b);
         let d = self.d();
-        let clamp = |ax: usize, off: usize| -> usize {
-            (origin[ax] + off).min(self.dims[ax] - 1)
-        };
+        let clamp = |ax: usize, off: usize| -> usize { (origin[ax] + off).min(self.dims[ax] - 1) };
         match d {
             1 => {
                 for i in 0..BLOCK_EDGE {
@@ -114,10 +112,10 @@ impl Grid {
         let d = self.d();
         match d {
             1 => {
-                for i in 0..BLOCK_EDGE {
+                for (i, &v) in block.iter().enumerate().take(BLOCK_EDGE) {
                     let x = origin[0] + i;
                     if x < self.dims[0] {
-                        data[x] = block[i];
+                        data[x] = v;
                     }
                 }
             }

@@ -66,13 +66,7 @@ pub fn from_fixed_point(q: &[i64], emax: i32, out: &mut [f32]) {
 /// Encode bit planes `kmax ..= kmin` (MSB first) of negabinary coefficients
 /// already permuted into sequency order. Stops when `budget` bits have been
 /// written; returns bits actually written.
-pub fn encode_planes(
-    coeffs: &[u64],
-    kmax: u32,
-    kmin: u32,
-    budget: u64,
-    w: &mut BitWriter,
-) -> u64 {
+pub fn encode_planes(coeffs: &[u64], kmax: u32, kmin: u32, budget: u64, w: &mut BitWriter) -> u64 {
     let size = coeffs.len();
     debug_assert!(size <= 64);
     let mut left = budget;

@@ -32,9 +32,7 @@ pub use block::Grid;
 pub use error::ZfpError;
 
 use arc_lossless::bitio::{read_varint, write_varint, BitReader, BitWriter};
-use codec::{
-    decode_planes, encode_planes, exponent_of, forward_block, inverse_block, K_TOP,
-};
+use codec::{decode_planes, encode_planes, exponent_of, forward_block, inverse_block, K_TOP};
 
 /// Stream magic.
 pub const MAGIC: &[u8; 4] = b"AZFP";
@@ -118,8 +116,8 @@ const KFIELD_BITS: u32 = 6;
 /// Compress `data` (row-major, `dims` slowest-first) under `mode`.
 pub fn compress(data: &[f32], dims: &[usize], mode: ZfpMode) -> Result<Vec<u8>, ZfpError> {
     mode.validate()?;
-    let grid = Grid::new(dims)
-        .ok_or_else(|| ZfpError::Malformed(format!("invalid dims {dims:?}")))?;
+    let grid =
+        Grid::new(dims).ok_or_else(|| ZfpError::Malformed(format!("invalid dims {dims:?}")))?;
     if grid.len() != data.len() {
         return Err(ZfpError::Malformed(format!(
             "dims {:?} describe {} elements but {} provided",
@@ -268,10 +266,7 @@ pub fn decompress(bytes: &[u8]) -> Result<ZfpDecoded, ZfpError> {
 }
 
 /// Decompress with explicit limits.
-pub fn decompress_with_limits(
-    bytes: &[u8],
-    limits: &DecodeLimits,
-) -> Result<ZfpDecoded, ZfpError> {
+pub fn decompress_with_limits(bytes: &[u8], limits: &DecodeLimits) -> Result<ZfpDecoded, ZfpError> {
     let need = |n: usize, pos: usize| -> Result<(), ZfpError> {
         if pos + n > bytes.len() {
             Err(ZfpError::Truncated("header".into()))
@@ -301,8 +296,8 @@ pub fn decompress_with_limits(
     let mut dims = Vec::with_capacity(ndims);
     let mut product: u64 = 1;
     for _ in 0..ndims {
-        let v = read_varint(bytes, &mut pos)
-            .map_err(|e| ZfpError::Malformed(format!("dims: {e}")))?;
+        let v =
+            read_varint(bytes, &mut pos).map_err(|e| ZfpError::Malformed(format!("dims: {e}")))?;
         if v == 0 {
             return Err(ZfpError::Malformed("zero-extent dimension".into()));
         }
@@ -312,10 +307,14 @@ pub fn decompress_with_limits(
         dims.push(v as usize);
     }
     if product > limits.max_elements {
-        return Err(ZfpError::WorkBudgetExceeded { demanded: product, budget: limits.max_elements });
+        return Err(ZfpError::WorkBudgetExceeded {
+            demanded: product,
+            budget: limits.max_elements,
+        });
     }
     let payload_len = read_varint(bytes, &mut pos)
-        .map_err(|e| ZfpError::Malformed(format!("payload length: {e}")))? as usize;
+        .map_err(|e| ZfpError::Malformed(format!("payload length: {e}")))?
+        as usize;
     let end = pos
         .checked_add(payload_len)
         .filter(|&e| e <= bytes.len())
@@ -473,12 +472,7 @@ mod tests {
             let c = compress(&data, &dims, ZfpMode::FixedRate(rate)).unwrap();
             let payload_bits = (data.len() as f64) * rate;
             let total = payload_bits / 8.0 + 32.0; // header slack
-            assert!(
-                (c.len() as f64) <= total + 8.0,
-                "rate {rate}: {} vs {}",
-                c.len(),
-                total
-            );
+            assert!((c.len() as f64) <= total + 8.0, "rate {rate}: {} vs {}", c.len(), total);
             let d = decompress(&c).unwrap();
             // Rate 16 on smooth data should be quite accurate.
             if rate >= 16.0 {

@@ -232,8 +232,7 @@ mod tests {
             let n = BLOCK_EDGE.pow(d as u32);
             let bound = 1i64 << 40;
             for salt in 0..40u64 {
-                let mut block: Vec<i64> =
-                    (0..n).map(|i| pseudo(i, salt) % bound).collect();
+                let mut block: Vec<i64> = (0..n).map(|i| pseudo(i, salt) % bound).collect();
                 fwd_transform(&mut block, d);
                 for &c in &block {
                     assert!(c.abs() < bound << (2 * d + 1), "d={d} c={c}");

@@ -6,15 +6,10 @@ use proptest::prelude::*;
 use arc_zfp::{compress, decompress, decompress_with_limits, DecodeLimits, ZfpMode};
 
 fn arb_grid() -> impl Strategy<Value = (Vec<usize>, Vec<f32>)> {
-    (1usize..=3)
-        .prop_flat_map(|d| proptest::collection::vec(1usize..20, d))
-        .prop_flat_map(|dims| {
-            let n: usize = dims.iter().product();
-            (
-                Just(dims),
-                proptest::collection::vec(-1e5f32..1e5f32, n..=n),
-            )
-        })
+    (1usize..=3).prop_flat_map(|d| proptest::collection::vec(1usize..20, d)).prop_flat_map(|dims| {
+        let n: usize = dims.iter().product();
+        (Just(dims), proptest::collection::vec(-1e5f32..1e5f32, n..=n))
+    })
 }
 
 proptest! {

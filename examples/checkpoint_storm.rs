@@ -15,14 +15,15 @@
 //! Run with `cargo run --release --example checkpoint_storm`.
 
 use arc::faultsim::{storm, FaultMix};
-use arc::{ArcContext, ArcOptions, EncodeRequest, MemoryConstraint, ResiliencyConstraint,
-          SystemProfile, ThroughputConstraint, TrainingOptions};
+use arc::{
+    ArcContext, ArcOptions, EncodeRequest, MemoryConstraint, ResiliencyConstraint, SystemProfile,
+    ThroughputConstraint, TrainingOptions,
+};
 use arc_ecc::EccConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let checkpoint: Vec<u8> = (0..8_000_000u32)
-        .map(|i| (i.wrapping_mul(0x9E3779B1) >> 21) as u8)
-        .collect();
+    let checkpoint: Vec<u8> =
+        (0..8_000_000u32).map(|i| (i.wrapping_mul(0x9E3779B1) >> 21) as u8).collect();
     let ctx = ArcContext::init(ArcOptions {
         training: TrainingOptions {
             sample_bytes: 512 << 10,
@@ -40,10 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // single-bit-dominated weather, and the Reed-Solomon class §6.4
     // prescribes for burst-prone Cielo.
     let grades: [(&str, ResiliencyConstraint); 2] = [
-        (
-            "Hopper-grade (SEC-DED)",
-            ResiliencyConstraint::Methods(vec![arc::EccMethod::SecDed]),
-        ),
+        ("Hopper-grade (SEC-DED)", ResiliencyConstraint::Methods(vec![arc::EccMethod::SecDed])),
         ("Cielo-grade (Reed-Solomon)", SystemProfile::cielo().recommended_resiliency()),
     ];
 
@@ -81,11 +79,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A custom scheme through the extension API joins the same experiment.
     let mut registry = arc::core::ExtensionRegistry::new();
-    registry.register("ilsecded", std::sync::Arc::new(
-        arc_ecc::InterleavedSecDed::new(512)?,
-    ))?;
+    registry.register("ilsecded", std::sync::Arc::new(arc_ecc::InterleavedSecDed::new(512)?))?;
     let _ = EccConfig::secded(true); // (built-ins remain available alongside)
-    let encoded = arc::core::encode_with_scheme(&checkpoint, &registry, "ilsecded", ctx.max_threads())?;
+    let encoded =
+        arc::core::encode_with_scheme(&checkpoint, &registry, "ilsecded", ctx.max_threads())?;
     let mut struck = encoded.clone();
     let summary = storm(&mut struck, 40, &FaultMix::hopper_like(), 0xF00D);
     let outcome = match arc::core::decode_with_registry(&struck, ctx.max_threads(), &registry) {

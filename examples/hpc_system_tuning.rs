@@ -6,8 +6,8 @@
 //! Run with `cargo run --release --example hpc_system_tuning`.
 
 use arc::{
-    ArcContext, ArcOptions, EncodeRequest, MemoryConstraint, SystemProfile,
-    ThroughputConstraint, TrainingOptions,
+    ArcContext, ArcOptions, EncodeRequest, MemoryConstraint, SystemProfile, ThroughputConstraint,
+    TrainingOptions,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -19,7 +19,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
         ..Default::default()
     })?;
-    let data: Vec<u8> = (0..4_000_000u32).map(|i| (i.wrapping_mul(0x45d9f3b) >> 16) as u8).collect();
+    let data: Vec<u8> =
+        (0..4_000_000u32).map(|i| (i.wrapping_mul(0x45d9f3b) >> 16) as u8).collect();
 
     for system in [SystemProfile::cielo(), SystemProfile::hopper()] {
         println!("\n{}", system.summary());

@@ -7,13 +7,16 @@
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use arc::{ArcContext, ArcOptions, EncodeRequest, MemoryConstraint, ResiliencyConstraint,
-          ThroughputConstraint, TrainingOptions};
+use arc::{
+    ArcContext, ArcOptions, EncodeRequest, MemoryConstraint, ResiliencyConstraint,
+    ThroughputConstraint, TrainingOptions,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Any uint8 byte array works; lossy-compressed output is the motivating
     // case. Here: a synthetic compressed-looking buffer.
-    let data: Vec<u8> = (0..1_000_000u32).map(|i| (i.wrapping_mul(2654435761) >> 24) as u8).collect();
+    let data: Vec<u8> =
+        (0..1_000_000u32).map(|i| (i.wrapping_mul(2654435761) >> 24) as u8).collect();
 
     // arc_init(ARC_ANY_THREADS) — training runs once and is cached.
     // (The training space is trimmed here so the example starts fast; drop
@@ -30,8 +33,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
         ..Default::default()
     })?;
-    println!("trained {} points in {:.2}s", ctx.training_stats().points_measured,
-             ctx.training_stats().seconds);
+    println!(
+        "trained {} points in {:.2}s",
+        ctx.training_stats().points_measured,
+        ctx.training_stats().seconds
+    );
 
     // arc_encode(data, mem, bw, resiliency): stay under +25% storage, keep
     // 50 MB/s, and survive one soft error per MB.

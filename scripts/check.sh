@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Repo gate: formatting, lints, and the tier-1 build + test suite.
+#
+# Usage: scripts/check.sh
+# Runs from the repo root regardless of the caller's cwd.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "==> workspace tests: cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "All checks passed."

@@ -34,9 +34,8 @@ fn full_pipeline_recovers_from_soft_errors() {
     let field = SdrDataset::CesmCldlow.generate(&[90, 180], 9);
     let eps = 1e-3;
     let compressor = CompressorSpec::SzAbs(eps).build();
-    let stream = compressor
-        .compress(&Dataset { data: &field.data, dims: &field.dims })
-        .expect("compress");
+    let stream =
+        compressor.compress(&Dataset { data: &field.data, dims: &field.dims }).expect("compress");
     let ctx = ctx("pipeline");
     let (protected, sel) = ctx
         .encode(
@@ -74,9 +73,8 @@ fn full_pipeline_recovers_from_soft_errors() {
 fn unprotected_stream_corrupts_but_protected_survives_identically() {
     let field = SdrDataset::IsabelPressure.generate(&[10, 50, 50], 3);
     let compressor = CompressorSpec::ZfpAcc(0.5).build();
-    let stream = compressor
-        .compress(&Dataset { data: &field.data, dims: &field.dims })
-        .expect("compress");
+    let stream =
+        compressor.compress(&Dataset { data: &field.data, dims: &field.dims }).expect("compress");
     // Unprotected: flip one bit mid-stream.
     let mut bare = stream.clone();
     let flip_at = stream.len() / 2;
@@ -161,9 +159,8 @@ fn every_paper_mode_composes_with_arc() {
         CompressorSpec::ZfpRate(8.0),
     ] {
         let comp = spec.build();
-        let stream = comp
-            .compress(&Dataset { data: &field.data, dims: &field.dims })
-            .expect("compress");
+        let stream =
+            comp.compress(&Dataset { data: &field.data, dims: &field.dims }).expect("compress");
         let (protected, _) = ctx.encode(&stream, &EncodeRequest::default()).expect("encode");
         let mut struck = protected.clone();
         struck[protected.len() * 2 / 3] ^= 0x01;

@@ -75,7 +75,7 @@ fn extension_overheads_match_their_contracts() {
 #[test]
 fn custom_constraint_predicate_filters_candidates() {
     use arc::core::{joint_optimizer_with, thread_ladder, TrainingTable};
-    use arc::{EncodeRequest, EccConfig};
+    use arc::{EccConfig, EncodeRequest};
     let space = EccConfig::standard_space();
     let mut table = TrainingTable::new();
     for cfg in &space {

@@ -12,11 +12,11 @@ fn majority_of_flips_complete_silently() {
     let field = SdrDataset::CesmCldlow.generate(&[80, 160], 11);
     let mut completed = 0usize;
     let mut total = 0usize;
-    for spec in [CompressorSpec::SzAbs(0.1), CompressorSpec::ZfpAcc(0.1), CompressorSpec::ZfpRate(8.0)] {
+    for spec in
+        [CompressorSpec::SzAbs(0.1), CompressorSpec::ZfpAcc(0.1), CompressorSpec::ZfpRate(8.0)]
+    {
         let comp = spec.build();
-        let stream = comp
-            .compress(&Dataset { data: &field.data, dims: &field.dims })
-            .unwrap();
+        let stream = comp.compress(&Dataset { data: &field.data, dims: &field.dims }).unwrap();
         let bits = sample_bits(stream.len() as u64 * 8, 150, 21);
         let report = run_campaign_with_bound(
             comp.as_ref(),
@@ -25,11 +25,7 @@ fn majority_of_flips_complete_silently() {
             &bits,
             Some(BoundSpec::Abs(0.1)),
         );
-        completed += report
-            .trials
-            .iter()
-            .filter(|t| t.status == ReturnStatus::Completed)
-            .count();
+        completed += report.trials.iter().filter(|t| t.status == ReturnStatus::Completed).count();
         total += report.trials.len();
     }
     let pct = 100.0 * completed as f64 / total as f64;
@@ -41,9 +37,7 @@ fn zfp_rate_trials_all_complete() {
     // §4.2: 100% of ZFP trials Completed — ZFP never detects the damage.
     let field = SdrDataset::CesmCldlow.generate(&[80, 160], 13);
     let comp = CompressorSpec::ZfpRate(8.0).build();
-    let stream = comp
-        .compress(&Dataset { data: &field.data, dims: &field.dims })
-        .unwrap();
+    let stream = comp.compress(&Dataset { data: &field.data, dims: &field.dims }).unwrap();
     // Sample payload bits (the small stream header is ARC's to protect).
     let header_bits = 24 * 8;
     let bits: Vec<u64> = sample_bits(stream.len() as u64 * 8 - header_bits, 250, 17)
@@ -74,19 +68,13 @@ fn serial_modes_propagate_more_than_block_mode() {
     let mut avg_elements = std::collections::HashMap::new();
     for spec in [CompressorSpec::SzAbs(0.1), CompressorSpec::ZfpRate(8.0)] {
         let comp = spec.build();
-        let stream = comp
-            .compress(&Dataset { data: &field.data, dims: &field.dims })
-            .unwrap();
+        let stream = comp.compress(&Dataset { data: &field.data, dims: &field.dims }).unwrap();
         let bits = sample_bits(stream.len() as u64 * 8, 200, 23);
         let report = run_campaign_with_bound(comp.as_ref(), &field.data, &stream, &bits, eval);
         // Subtract the control baseline (rate mode has inherent violations
         // at its fixed precision).
-        let control = report
-            .control
-            .metrics
-            .as_ref()
-            .and_then(|m| m.incorrect_elements)
-            .unwrap_or(0) as f64;
+        let control =
+            report.control.metrics.as_ref().and_then(|m| m.incorrect_elements).unwrap_or(0) as f64;
         avg_elements.insert(
             spec.family(),
             (report.avg_incorrect_elements().unwrap_or(0.0) - control).max(0.0),
@@ -107,9 +95,7 @@ fn timeout_class_reachable_via_dims_corruption() {
     // dims bytes directly to prove the classification path.
     let field = SdrDataset::CesmCldlow.generate(&[100, 200], 29);
     let comp = CompressorSpec::SzAbs(0.1).build();
-    let stream = comp
-        .compress(&Dataset { data: &field.data, dims: &field.dims })
-        .unwrap();
+    let stream = comp.compress(&Dataset { data: &field.data, dims: &field.dims }).unwrap();
     let ctx = TrialContext::new(comp.as_ref(), &field.data, &stream);
     // The dims varints live right after magic+version+tag+2×f64+flag.
     let dims_offset = (4 + 1 + 1 + 16 + 1 + 1) as u64 * 8;
@@ -127,11 +113,11 @@ fn timeout_class_reachable_via_dims_corruption() {
 fn control_trials_are_pristine_for_bounded_modes() {
     for ds in [SdrDataset::CesmCldlow] {
         let field = ds.generate(&[60, 120], 31);
-        for spec in [CompressorSpec::SzAbs(0.1), CompressorSpec::SzPwRel(0.1), CompressorSpec::ZfpAcc(0.1)] {
+        for spec in
+            [CompressorSpec::SzAbs(0.1), CompressorSpec::SzPwRel(0.1), CompressorSpec::ZfpAcc(0.1)]
+        {
             let comp = spec.build();
-            let stream = comp
-                .compress(&Dataset { data: &field.data, dims: &field.dims })
-                .unwrap();
+            let stream = comp.compress(&Dataset { data: &field.data, dims: &field.dims }).unwrap();
             let ctx = TrialContext::new(comp.as_ref(), &field.data, &stream);
             let control = ctx.run_control();
             assert_eq!(control.status, ReturnStatus::Completed, "{}", spec.name());

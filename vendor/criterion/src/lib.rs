@@ -1,0 +1,282 @@
+//! Offline shim for the subset of `criterion` this workspace uses.
+//!
+//! Provides the `Criterion` / `BenchmarkGroup` / `Bencher` API shape so the
+//! `harness = false` bench targets compile and run without crates.io. Under
+//! `cargo bench` (cargo passes `--bench`) each benchmark is warmed up and
+//! timed over wall-clock batches, reporting time/iter and throughput. Under
+//! `cargo test` (no `--bench` flag) each benchmark body runs exactly once
+//! so the suite stays fast while still exercising the bench code paths.
+//!
+//! No statistics, plotting, or result persistence — this is a smoke-timing
+//! harness, not a statistical benchmarking framework.
+
+use std::fmt;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Throughput metadata attached to a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for a single benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new<F: fmt::Display, P: fmt::Display>(function: F, parameter: P) -> Self {
+        BenchmarkId { id: format!("{function}/{parameter}") }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    bench_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench passes --bench to harness=false targets; cargo test
+        // does not. Anything else (direct invocation) gets quick mode too.
+        Criterion { bench_mode: std::env::args().any(|a| a == "--bench") }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            bench_mode: self.bench_mode,
+            name: name.into(),
+            throughput: None,
+            sample_size: 10,
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_millis(1500),
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A group of benchmarks sharing throughput and timing settings.
+pub struct BenchmarkGroup<'a> {
+    bench_mode: bool,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    _marker: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of measurement samples (accepted for API compatibility).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up duration before timing starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Total measurement duration per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Set the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark a closure that receives a shared input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = self.bencher();
+        f(&mut b, input);
+        self.report(&id.id, &b);
+        self
+    }
+
+    /// Benchmark a closure with no external input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = self.bencher();
+        f(&mut b);
+        self.report(&id.id, &b);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+
+    fn bencher(&self) -> Bencher {
+        Bencher {
+            bench_mode: self.bench_mode,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    fn report(&self, id: &str, b: &Bencher) {
+        if !self.bench_mode {
+            return;
+        }
+        let iters = b.iters.max(1);
+        let per_iter = b.elapsed.as_secs_f64() / iters as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) => {
+                format!("  thrpt: {:>10.1} MiB/s", n as f64 / per_iter / (1024.0 * 1024.0))
+            }
+            Some(Throughput::Elements(n)) => {
+                format!("  thrpt: {:>10.1} elem/s", n as f64 / per_iter)
+            }
+            None => String::new(),
+        };
+        println!(
+            "{:<40} time: {:>12} ({} iters){rate}",
+            format!("{}/{}", self.name, id),
+            format_time(per_iter),
+            iters,
+        );
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Timing driver handed to each benchmark body.
+pub struct Bencher {
+    bench_mode: bool,
+    warm_up: Duration,
+    measurement: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it repeatedly in bench mode or exactly once
+    /// in test mode.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if !self.bench_mode {
+            let start = Instant::now();
+            black_box(routine());
+            self.iters = 1;
+            self.elapsed = start.elapsed();
+            return;
+        }
+        // Warm-up: run untimed until the warm-up budget is spent.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        // Measurement: batched wall-clock timing.
+        let batch = warm_iters.clamp(1, 1 << 20);
+        let mut iters = 0u64;
+        let start = Instant::now();
+        loop {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            iters += batch;
+            if start.elapsed() >= self.measurement {
+                break;
+            }
+        }
+        self.iters = iters;
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Collect benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_runs_once() {
+        let mut c = Criterion { bench_mode: false };
+        let mut group = c.benchmark_group("g");
+        let mut runs = 0u32;
+        group.bench_function("one", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", "2t").id, "f/2t");
+        assert_eq!(BenchmarkId::from_parameter(8).id, "8");
+    }
+}

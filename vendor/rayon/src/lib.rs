@@ -1,0 +1,366 @@
+//! Offline shim for the subset of `rayon` this workspace uses.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! rayon cannot be fetched. This crate reimplements exactly the surface the
+//! ARC workspace calls — `ThreadPoolBuilder`/`ThreadPool::install`, and
+//! slice `par_iter`/`par_iter_mut` with `map`/`for_each`/`collect` — on top
+//! of `std::thread::scope`. Work is split into one contiguous chunk per
+//! thread, and `collect` preserves input order, matching rayon's indexed
+//! parallel-iterator semantics for these call shapes.
+
+use std::cell::Cell;
+use std::fmt;
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`];
+    /// 0 means "no pool active, use available parallelism".
+    static CURRENT_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+fn active_threads() -> usize {
+    let n = CURRENT_THREADS.with(|c| c.get());
+    if n == 0 {
+        default_threads()
+    } else {
+        n
+    }
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`]. The shim never fails to
+/// build, but the type exists so caller error plumbing compiles unchanged.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Start building a pool with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the number of worker threads (0 = available parallelism).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim spawns unnamed scoped
+    /// threads per operation instead of keeping named workers alive.
+    pub fn thread_name<F>(self, _name: F) -> Self
+    where
+        F: FnMut(usize) -> String,
+    {
+        self
+    }
+
+    /// Finish building the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 { default_threads() } else { self.num_threads };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// A handle that scopes parallel operations to a fixed thread count.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's thread count governing any parallel
+    /// iterators it creates.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        CURRENT_THREADS.with(|c| {
+            let prev = c.get();
+            c.set(self.threads);
+            let out = op();
+            c.set(prev);
+            out
+        })
+    }
+
+    /// Number of worker threads in this pool.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+pub mod iter {
+    //! Parallel iterator shims over slices.
+
+    use super::active_threads;
+    use std::marker::PhantomData;
+
+    fn chunk_len(total: usize) -> (usize, usize) {
+        let workers = active_threads().min(total).max(1);
+        (workers, total.div_ceil(workers))
+    }
+
+    /// Split a `&mut` slice into per-worker chunks that keep the original
+    /// lifetime (plain `chunks_mut` would reborrow).
+    fn split_mut<T>(mut rest: &mut [T], chunk: usize) -> Vec<&mut [T]> {
+        let mut parts = Vec::new();
+        while !rest.is_empty() {
+            let r = std::mem::take(&mut rest);
+            let take = chunk.min(r.len());
+            let (head, tail) = r.split_at_mut(take);
+            parts.push(head);
+            rest = tail;
+        }
+        parts
+    }
+
+    /// `collection.par_iter()` — borrowing parallel iterator.
+    pub trait IntoParallelRefIterator<'data> {
+        /// Element type yielded by reference.
+        type Item: 'data;
+        /// Create the parallel iterator.
+        fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+    }
+
+    /// `collection.par_iter_mut()` — mutably borrowing parallel iterator.
+    pub trait IntoParallelRefMutIterator<'data> {
+        /// Element type yielded by mutable reference.
+        type Item: 'data;
+        /// Create the parallel iterator.
+        fn par_iter_mut(&'data mut self) -> ParIterMut<'data, Self::Item>;
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = T;
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter { slice: self }
+        }
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = T;
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter { slice: self }
+        }
+    }
+
+    impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+        type Item = T;
+        fn par_iter_mut(&'data mut self) -> ParIterMut<'data, T> {
+            ParIterMut { slice: self }
+        }
+    }
+
+    impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+        type Item = T;
+        fn par_iter_mut(&'data mut self) -> ParIterMut<'data, T> {
+            ParIterMut { slice: self }
+        }
+    }
+
+    /// Borrowing parallel iterator over a slice.
+    pub struct ParIter<'data, T> {
+        slice: &'data [T],
+    }
+
+    impl<'data, T: Sync> ParIter<'data, T> {
+        /// Map each element through `f`.
+        pub fn map<R, F>(self, f: F) -> ParMap<'data, T, R, F>
+        where
+            F: Fn(&'data T) -> R + Sync,
+            R: Send,
+        {
+            ParMap { slice: self.slice, f, _out: PhantomData }
+        }
+
+        /// Run `f` on every element.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(&'data T) + Sync,
+        {
+            let (workers, chunk) = chunk_len(self.slice.len());
+            if workers <= 1 {
+                self.slice.iter().for_each(f);
+                return;
+            }
+            let f = &f;
+            std::thread::scope(|s| {
+                for part in self.slice.chunks(chunk) {
+                    s.spawn(move || part.iter().for_each(f));
+                }
+            });
+        }
+    }
+
+    /// Mapped borrowing parallel iterator.
+    pub struct ParMap<'data, T, R, F> {
+        slice: &'data [T],
+        f: F,
+        _out: PhantomData<fn() -> R>,
+    }
+
+    impl<'data, T: Sync, R, F> ParMap<'data, T, R, F>
+    where
+        F: Fn(&'data T) -> R + Sync,
+        R: Send,
+    {
+        /// Collect mapped values, preserving input order.
+        pub fn collect<C: FromIterator<R>>(self) -> C {
+            let (workers, chunk) = chunk_len(self.slice.len());
+            if workers <= 1 {
+                return self.slice.iter().map(self.f).collect();
+            }
+            let f = &self.f;
+            std::thread::scope(|s| {
+                let handles: Vec<_> = self
+                    .slice
+                    .chunks(chunk)
+                    .map(|part| s.spawn(move || part.iter().map(f).collect::<Vec<R>>()))
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("rayon shim worker panicked"))
+                    .collect()
+            })
+        }
+    }
+
+    /// Mutably borrowing parallel iterator over a slice.
+    pub struct ParIterMut<'data, T> {
+        slice: &'data mut [T],
+    }
+
+    impl<'data, T: Send> ParIterMut<'data, T> {
+        /// Map each element through `f`.
+        pub fn map<R, F>(self, f: F) -> ParMapMut<'data, T, R, F>
+        where
+            F: Fn(&'data mut T) -> R + Sync,
+            R: Send,
+        {
+            ParMapMut { slice: self.slice, f, _out: PhantomData }
+        }
+
+        /// Run `f` on every element.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(&'data mut T) + Sync,
+        {
+            let (workers, chunk) = chunk_len(self.slice.len());
+            if workers <= 1 {
+                for item in self.slice {
+                    f(item);
+                }
+                return;
+            }
+            let f = &f;
+            std::thread::scope(|s| {
+                for part in split_mut(self.slice, chunk) {
+                    s.spawn(move || {
+                        for item in part {
+                            f(item);
+                        }
+                    });
+                }
+            });
+        }
+    }
+
+    /// Mapped mutably borrowing parallel iterator.
+    pub struct ParMapMut<'data, T, R, F> {
+        slice: &'data mut [T],
+        f: F,
+        _out: PhantomData<fn() -> R>,
+    }
+
+    impl<'data, T: Send, R, F> ParMapMut<'data, T, R, F>
+    where
+        F: Fn(&'data mut T) -> R + Sync,
+        R: Send,
+    {
+        /// Collect mapped values, preserving input order.
+        pub fn collect<C: FromIterator<R>>(self) -> C {
+            let (workers, chunk) = chunk_len(self.slice.len());
+            if workers <= 1 {
+                let f = self.f;
+                let mut out = Vec::with_capacity(self.slice.len());
+                for item in self.slice {
+                    out.push(f(item));
+                }
+                return out.into_iter().collect();
+            }
+            let f = &self.f;
+            std::thread::scope(|s| {
+                let handles: Vec<_> = split_mut(self.slice, chunk)
+                    .into_iter()
+                    .map(|part| {
+                        s.spawn(move || {
+                            let mut out = Vec::with_capacity(part.len());
+                            for item in part {
+                                out.push(f(item));
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("rayon shim worker panicked"))
+                    .collect()
+            })
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `rayon::prelude::*` for the call sites
+    //! in this workspace.
+    pub use crate::iter::{IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u32> = (0..1000).collect();
+        let doubled: Vec<u32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_each_mut_touches_every_element() {
+        let mut v = vec![0u64; 513];
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert!(v.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let out = pool.install(|| {
+            let v: Vec<usize> = (0..17).collect();
+            v.par_iter().map(|&x| x + 1).collect::<Vec<_>>()
+        });
+        assert_eq!(out, (1..18).collect::<Vec<_>>());
+    }
+}
