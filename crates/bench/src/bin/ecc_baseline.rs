@@ -1,8 +1,10 @@
 //! Record the `ecc_throughput` baseline into `BENCH_ecc.json`.
 //!
-//! Measures encode (`encode_into`) and clean in-place decode
-//! (`decode_in_place`) throughput for every built-in scheme at 1 thread and
-//! all available threads, then prints a JSON document (hand-rolled — the
+//! Measures encode (`encode_into`), clean in-place decode
+//! (`decode_in_place`), and decode with correctable corruption for every
+//! built-in scheme at 1 thread and all available threads
+//! (`available_parallelism`, recorded as `max_threads`; the two coincide on
+//! a single-core machine), then prints a JSON document (hand-rolled — the
 //! repo takes no serde dependency). Redirect to the repo root to refresh
 //! the committed baseline:
 //!
@@ -12,12 +14,14 @@
 
 use std::time::Instant;
 
-use arc_bench::scaling_schemes;
-use arc_ecc::ParallelCodec;
+use arc_bench::{inject_correctable, scaling_schemes};
+use arc_ecc::{EccScheme, ParallelCodec};
 
 const PROBE_BYTES: usize = 4 << 20;
 const RS_PROBE_BYTES: usize = 1 << 20;
 const REPS: usize = 5;
+/// Correctable soft errors injected for the corrupt-decode column.
+const INJECT_ERRORS: usize = 500;
 
 fn probe(len: usize) -> Vec<u8> {
     (0..len).map(|i| ((i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 29) as u8).collect()
@@ -35,6 +39,19 @@ fn best_secs(mut f: impl FnMut()) -> f64 {
         .fold(f64::INFINITY, f64::min)
 }
 
+/// Decode throughput against a pre-corrupted template, refreshing the
+/// working buffer from the template each rep and subtracting the measured
+/// memcpy cost so the column isolates verify-and-correct work.
+fn corrupt_decode_secs(codec: &ParallelCodec, template: &[u8], data_len: usize) -> f64 {
+    let mut work = template.to_vec();
+    let copy = best_secs(|| work.copy_from_slice(template));
+    let total = best_secs(|| {
+        work.copy_from_slice(template);
+        codec.decode_in_place(&mut work, data_len).expect("correctable decode");
+    });
+    (total - copy).max(f64::MIN_POSITIVE)
+}
+
 fn main() {
     let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let thread_points = if max_threads > 1 { vec![1, max_threads] } else { vec![1] };
@@ -43,6 +60,7 @@ fn main() {
     for (name, config) in scaling_schemes() {
         let len = if name == "Reed-Solomon" { RS_PROBE_BYTES } else { PROBE_BYTES };
         let data = probe(len);
+        let corrects = config.capability().corrects_sparse;
         for &threads in &thread_points {
             let codec = ParallelCodec::new(config, threads).expect("codec");
             let mut out = vec![0u8; codec.encoded_len(data.len())];
@@ -51,17 +69,37 @@ fn main() {
             let dec = best_secs(|| {
                 codec.decode_in_place(&mut encoded, data.len()).expect("clean decode");
             });
+            // Corrupt-decode column: parity-only schemes detect but cannot
+            // correct, so the column is null for them.
+            let corrupt = corrects.then(|| {
+                let mut template = codec.encode(&data);
+                inject_correctable(
+                    &mut template,
+                    &config,
+                    codec.chunk_size(),
+                    data.len(),
+                    INJECT_ERRORS,
+                    7,
+                );
+                corrupt_decode_secs(&codec, &template, data.len())
+            });
             let mbps = |secs: f64| len as f64 / secs / (1 << 20) as f64;
+            let corrupt_field = match corrupt {
+                Some(secs) => format!("{:.1}", mbps(secs)),
+                None => "null".to_string(),
+            };
             entries.push(format!(
                 concat!(
                     "    {{\"scheme\": \"{}\", \"threads\": {}, \"bytes\": {}, ",
-                    "\"encode_mib_s\": {:.1}, \"decode_clean_mib_s\": {:.1}}}"
+                    "\"encode_mib_s\": {:.1}, \"decode_clean_mib_s\": {:.1}, ",
+                    "\"decode_corrupt_mib_s\": {}}}"
                 ),
                 name,
                 threads,
                 len,
                 mbps(enc),
-                mbps(dec)
+                mbps(dec),
+                corrupt_field
             ));
         }
     }
@@ -70,6 +108,8 @@ fn main() {
     println!("  \"bench\": \"ecc_throughput\",");
     println!("  \"unit\": \"MiB/s\",");
     println!("  \"reps\": {REPS},");
+    println!("  \"max_threads\": {max_threads},");
+    println!("  \"inject_errors\": {INJECT_ERRORS},");
     println!("  \"results\": [");
     println!("{}", entries.join(",\n"));
     println!("  ]");

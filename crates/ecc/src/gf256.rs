@@ -142,6 +142,268 @@ impl Gf {
     }
 }
 
+/// Split-nibble multiplication tables for every coefficient, plus the
+/// composed full row tables.
+///
+/// For a coefficient `c`, `lo[c][n] = c·n` and `hi[c][n] = c·(n << 4)`; by
+/// linearity `c·b = lo[c][b & 15] ⊕ hi[c][b >> 4]`, so the two 16-entry
+/// tables compose into the branch-free 256-entry row `row[c]`. The 16-entry
+/// tables are exactly the shape a byte-shuffle instruction (PSHUFB) consumes,
+/// which is how the Jerasure-class word-wide kernels get their throughput;
+/// the composed rows serve the portable scalar/u64 path and `Gf`-level code.
+struct MulTables {
+    /// `lo[c][n] = c·n` for n in 0..16.
+    lo: Vec<[u8; 16]>,
+    /// `hi[c][n] = c·(n << 4)` for n in 0..16.
+    hi: Vec<[u8; 16]>,
+    /// `row[c][b] = c·b`, composed from `lo`/`hi`.
+    row: Vec<[u8; 256]>,
+}
+
+static MUL_TABLES: std::sync::OnceLock<MulTables> = std::sync::OnceLock::new();
+
+fn mul_tables() -> &'static MulTables {
+    MUL_TABLES.get_or_init(|| {
+        let t = tables();
+        // Multiply through log/exp directly; `Gf::mul` stays independent of
+        // this builder.
+        let mul = |a: u8, b: u8| -> u8 {
+            if a == 0 || b == 0 {
+                0
+            } else {
+                t.exp[t.log[a as usize] as usize + t.log[b as usize] as usize]
+            }
+        };
+        let mut lo = vec![[0u8; 16]; 256];
+        let mut hi = vec![[0u8; 16]; 256];
+        let mut row = vec![[0u8; 256]; 256];
+        for c in 0..256 {
+            for n in 0..16 {
+                lo[c][n] = mul(c as u8, n as u8);
+                hi[c][n] = mul(c as u8, (n << 4) as u8);
+            }
+            for b in 0..256 {
+                row[c][b] = lo[c][b & 0xF] ^ hi[c][b >> 4];
+            }
+        }
+        MulTables { lo, hi, row }
+    })
+}
+
+/// Force-build every lazily-initialized lookup table (log/exp and the
+/// split-nibble multiply tables).
+///
+/// Hot paths touch the tables through `OnceLock`s; calling this once up
+/// front (e.g. when a [`crate::parallel::ParallelCodec`] is constructed)
+/// keeps the one-time build out of the timed/parallel region and off the
+/// allocation budget of steady-state encode/decode.
+pub fn warm_tables() {
+    let _ = mul_tables();
+}
+
+/// The 256-entry multiplication row for coefficient `c`: `row[b] = c·b`.
+#[inline]
+pub(crate) fn row_table(c: Gf) -> &'static [u8; 256] {
+    &mul_tables().row[c.0 as usize]
+}
+
+/// Which SIMD kernel the slice operations dispatch to, resolved once.
+#[cfg(target_arch = "x86_64")]
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum SimdLevel {
+    Avx2,
+    Ssse3,
+    None,
+}
+
+#[cfg(target_arch = "x86_64")]
+fn simd_level() -> SimdLevel {
+    static LEVEL: std::sync::OnceLock<SimdLevel> = std::sync::OnceLock::new();
+    *LEVEL.get_or_init(|| {
+        if is_x86_feature_detected!("avx2") {
+            SimdLevel::Avx2
+        } else if is_x86_feature_detected!("ssse3") {
+            SimdLevel::Ssse3
+        } else {
+            SimdLevel::None
+        }
+    })
+}
+
+/// `dst[i] ^= src[i]` — the c = 1 case, folded over u64 lanes.
+#[inline]
+fn xor_slice(dst: &mut [u8], src: &[u8]) {
+    let mut d8 = dst.chunks_exact_mut(8);
+    let mut s8 = src.chunks_exact(8);
+    for (d, s) in (&mut d8).zip(&mut s8) {
+        let v =
+            u64::from_le_bytes(d.try_into().unwrap()) ^ u64::from_le_bytes(s.try_into().unwrap());
+        d.copy_from_slice(&v.to_le_bytes());
+    }
+    for (d, s) in d8.into_remainder().iter_mut().zip(s8.remainder()) {
+        *d ^= s;
+    }
+}
+
+/// Portable `dst ^= c·src` over 8-byte words: one unaligned u64 load per
+/// side, eight branch-free row lookups, one u64 xor/store. The scalar tail
+/// is branch-free too.
+#[inline]
+fn mul_acc_words(dst: &mut [u8], src: &[u8], row: &[u8; 256]) {
+    let mut d8 = dst.chunks_exact_mut(8);
+    let mut s8 = src.chunks_exact(8);
+    for (d, s) in (&mut d8).zip(&mut s8) {
+        let sw = u64::from_le_bytes(s.try_into().unwrap());
+        let mut p = 0u64;
+        for k in 0..8 {
+            p |= (row[((sw >> (8 * k)) & 0xFF) as usize] as u64) << (8 * k);
+        }
+        let v = u64::from_le_bytes(d.try_into().unwrap()) ^ p;
+        d.copy_from_slice(&v.to_le_bytes());
+    }
+    for (d, s) in d8.into_remainder().iter_mut().zip(s8.remainder()) {
+        *d ^= row[*s as usize];
+    }
+}
+
+/// Portable `dst = c·dst` over 8-byte words.
+#[inline]
+fn scale_words(dst: &mut [u8], row: &[u8; 256]) {
+    let mut d8 = dst.chunks_exact_mut(8);
+    for d in &mut d8 {
+        let sw = u64::from_le_bytes(d.try_into().unwrap());
+        let mut p = 0u64;
+        for k in 0..8 {
+            p |= (row[((sw >> (8 * k)) & 0xFF) as usize] as u64) << (8 * k);
+        }
+        d.copy_from_slice(&p.to_le_bytes());
+    }
+    for d in d8.into_remainder() {
+        *d = row[*d as usize];
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    //! PSHUFB split-nibble kernels. Each 16/32-byte lane is multiplied by a
+    //! constant with two byte shuffles of the coefficient's 16-entry nibble
+    //! tables — the classic Jerasure/ISA-L technique.
+
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::*;
+
+    use super::{mul_acc_words, mul_tables, row_table, scale_words, Gf};
+
+    /// # Safety
+    /// Caller must ensure AVX2 is available.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn mul_acc_avx2(dst: &mut [u8], src: &[u8], c: Gf) {
+        let t = mul_tables();
+        // SAFETY: the 16-byte nibble tables are loaded unaligned and
+        // broadcast to both 128-bit lanes.
+        unsafe {
+            let lo = _mm256_broadcastsi128_si256(_mm_loadu_si128(
+                t.lo[c.0 as usize].as_ptr() as *const __m128i
+            ));
+            let hi = _mm256_broadcastsi128_si256(_mm_loadu_si128(
+                t.hi[c.0 as usize].as_ptr() as *const __m128i
+            ));
+            let mask = _mm256_set1_epi8(0x0F);
+            let n = dst.len() & !31;
+            let mut i = 0;
+            while i < n {
+                let s = _mm256_loadu_si256(src.as_ptr().add(i) as *const __m256i);
+                let sl = _mm256_and_si256(s, mask);
+                let sh = _mm256_and_si256(_mm256_srli_epi64(s, 4), mask);
+                let prod =
+                    _mm256_xor_si256(_mm256_shuffle_epi8(lo, sl), _mm256_shuffle_epi8(hi, sh));
+                let d = _mm256_loadu_si256(dst.as_ptr().add(i) as *const __m256i);
+                _mm256_storeu_si256(
+                    dst.as_mut_ptr().add(i) as *mut __m256i,
+                    _mm256_xor_si256(d, prod),
+                );
+                i += 32;
+            }
+            mul_acc_words(&mut dst[n..], &src[n..], row_table(c));
+        }
+    }
+
+    /// # Safety
+    /// Caller must ensure SSSE3 is available.
+    #[target_feature(enable = "ssse3")]
+    pub(super) unsafe fn mul_acc_ssse3(dst: &mut [u8], src: &[u8], c: Gf) {
+        let t = mul_tables();
+        unsafe {
+            let lo = _mm_loadu_si128(t.lo[c.0 as usize].as_ptr() as *const __m128i);
+            let hi = _mm_loadu_si128(t.hi[c.0 as usize].as_ptr() as *const __m128i);
+            let mask = _mm_set1_epi8(0x0F);
+            let n = dst.len() & !15;
+            let mut i = 0;
+            while i < n {
+                let s = _mm_loadu_si128(src.as_ptr().add(i) as *const __m128i);
+                let sl = _mm_and_si128(s, mask);
+                let sh = _mm_and_si128(_mm_srli_epi64(s, 4), mask);
+                let prod = _mm_xor_si128(_mm_shuffle_epi8(lo, sl), _mm_shuffle_epi8(hi, sh));
+                let d = _mm_loadu_si128(dst.as_ptr().add(i) as *const __m128i);
+                _mm_storeu_si128(dst.as_mut_ptr().add(i) as *mut __m128i, _mm_xor_si128(d, prod));
+                i += 16;
+            }
+            mul_acc_words(&mut dst[n..], &src[n..], row_table(c));
+        }
+    }
+
+    /// # Safety
+    /// Caller must ensure AVX2 is available.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn scale_avx2(dst: &mut [u8], c: Gf) {
+        let t = mul_tables();
+        unsafe {
+            let lo = _mm256_broadcastsi128_si256(_mm_loadu_si128(
+                t.lo[c.0 as usize].as_ptr() as *const __m128i
+            ));
+            let hi = _mm256_broadcastsi128_si256(_mm_loadu_si128(
+                t.hi[c.0 as usize].as_ptr() as *const __m128i
+            ));
+            let mask = _mm256_set1_epi8(0x0F);
+            let n = dst.len() & !31;
+            let mut i = 0;
+            while i < n {
+                let s = _mm256_loadu_si256(dst.as_ptr().add(i) as *const __m256i);
+                let sl = _mm256_and_si256(s, mask);
+                let sh = _mm256_and_si256(_mm256_srli_epi64(s, 4), mask);
+                let prod =
+                    _mm256_xor_si256(_mm256_shuffle_epi8(lo, sl), _mm256_shuffle_epi8(hi, sh));
+                _mm256_storeu_si256(dst.as_mut_ptr().add(i) as *mut __m256i, prod);
+                i += 32;
+            }
+            scale_words(&mut dst[n..], row_table(c));
+        }
+    }
+
+    /// # Safety
+    /// Caller must ensure SSSE3 is available.
+    #[target_feature(enable = "ssse3")]
+    pub(super) unsafe fn scale_ssse3(dst: &mut [u8], c: Gf) {
+        let t = mul_tables();
+        unsafe {
+            let lo = _mm_loadu_si128(t.lo[c.0 as usize].as_ptr() as *const __m128i);
+            let hi = _mm_loadu_si128(t.hi[c.0 as usize].as_ptr() as *const __m128i);
+            let mask = _mm_set1_epi8(0x0F);
+            let n = dst.len() & !15;
+            let mut i = 0;
+            while i < n {
+                let s = _mm_loadu_si128(dst.as_ptr().add(i) as *const __m128i);
+                let sl = _mm_and_si128(s, mask);
+                let sh = _mm_and_si128(_mm_srli_epi64(s, 4), mask);
+                let prod = _mm_xor_si128(_mm_shuffle_epi8(lo, sl), _mm_shuffle_epi8(hi, sh));
+                _mm_storeu_si128(dst.as_mut_ptr().add(i) as *mut __m128i, prod);
+                i += 16;
+            }
+            scale_words(&mut dst[n..], row_table(c));
+        }
+    }
+}
+
 /// Multiply a slice of symbols by a scalar in place.
 #[inline]
 pub fn scale_slice(dst: &mut [u8], c: Gf) {
@@ -152,13 +414,14 @@ pub fn scale_slice(dst: &mut [u8], c: Gf) {
         dst.fill(0);
         return;
     }
-    let t = tables();
-    let lc = t.log[c.0 as usize] as usize;
-    for b in dst.iter_mut() {
-        if *b != 0 {
-            *b = t.exp[t.log[*b as usize] as usize + lc];
-        }
+    #[cfg(target_arch = "x86_64")]
+    match simd_level() {
+        // SAFETY: the feature was detected at runtime.
+        SimdLevel::Avx2 => return unsafe { x86::scale_avx2(dst, c) },
+        SimdLevel::Ssse3 => return unsafe { x86::scale_ssse3(dst, c) },
+        SimdLevel::None => {}
     }
+    scale_words(dst, row_table(c));
 }
 
 /// `dst[i] ^= c * src[i]` for all i — the core kernel of the device-oriented
@@ -170,18 +433,17 @@ pub fn mul_acc_slice(dst: &mut [u8], src: &[u8], c: Gf) {
         return;
     }
     if c == Gf::ONE {
-        for (d, s) in dst.iter_mut().zip(src) {
-            *d ^= s;
-        }
+        xor_slice(dst, src);
         return;
     }
-    let t = tables();
-    let lc = t.log[c.0 as usize] as usize;
-    for (d, s) in dst.iter_mut().zip(src) {
-        if *s != 0 {
-            *d ^= t.exp[t.log[*s as usize] as usize + lc];
-        }
+    #[cfg(target_arch = "x86_64")]
+    match simd_level() {
+        // SAFETY: the feature was detected at runtime.
+        SimdLevel::Avx2 => return unsafe { x86::mul_acc_avx2(dst, src, c) },
+        SimdLevel::Ssse3 => return unsafe { x86::mul_acc_ssse3(dst, src, c) },
+        SimdLevel::None => {}
     }
+    mul_acc_words(dst, src, row_table(c));
 }
 
 /// Polynomials over GF(2^8), stored lowest-degree coefficient first.
@@ -424,6 +686,73 @@ mod tests {
         scale_slice(&mut v, Gf(0x53));
         for (i, &b) in v.iter().enumerate() {
             assert_eq!(Gf(b), Gf(i as u8).mul(Gf(0x53)));
+        }
+    }
+
+    #[test]
+    fn split_nibble_tables_compose_to_products() {
+        let t = mul_tables();
+        for c in 0..=255u8 {
+            for b in 0..=255u8 {
+                let composed =
+                    t.lo[c as usize][(b & 0xF) as usize] ^ t.hi[c as usize][(b >> 4) as usize];
+                assert_eq!(composed, Gf(c).mul(Gf(b)).0, "c={c} b={b}");
+                assert_eq!(t.row[c as usize][b as usize], composed, "c={c} b={b}");
+            }
+        }
+    }
+
+    /// Ragged lengths exercising the word kernel's main loop, word tail, and
+    /// byte tail, plus the SIMD kernels' 16/32-byte boundaries.
+    const KERNEL_LENS: [usize; 12] = [0, 1, 7, 8, 9, 15, 16, 31, 33, 63, 64, 65];
+
+    #[test]
+    fn mul_acc_slice_matches_naive_for_every_coefficient_and_ragged_len() {
+        for c in 0..=255u8 {
+            for len in KERNEL_LENS {
+                let src: Vec<u8> =
+                    (0..len).map(|i| (i as u8).wrapping_mul(37).wrapping_add(c)).collect();
+                let mut dst: Vec<u8> =
+                    (0..len).map(|i| (i as u8).wrapping_mul(91) ^ 0xA5).collect();
+                let mut expect = dst.clone();
+                for (e, &s) in expect.iter_mut().zip(&src) {
+                    *e ^= Gf(s).mul(Gf(c)).0;
+                }
+                mul_acc_slice(&mut dst, &src, Gf(c));
+                assert_eq!(dst, expect, "c={c} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn scale_slice_matches_naive_for_every_coefficient_and_ragged_len() {
+        for c in 0..=255u8 {
+            for len in KERNEL_LENS {
+                let mut dst: Vec<u8> =
+                    (0..len).map(|i| (i as u8).wrapping_mul(53).wrapping_add(1)).collect();
+                let expect: Vec<u8> = dst.iter().map(|&b| Gf(b).mul(Gf(c)).0).collect();
+                scale_slice(&mut dst, Gf(c));
+                assert_eq!(dst, expect, "c={c} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_handle_unaligned_slices() {
+        // Offsets into a larger buffer so the u64/SIMD loads are genuinely
+        // unaligned; surrounding bytes must be untouched.
+        let base: Vec<u8> = (0..256).map(|i| (i as u8).wrapping_mul(113)).collect();
+        for offset in 1..8usize {
+            for c in [2u8, 0x1D, 0x8E, 0xFF] {
+                let mut buf = base.clone();
+                let src = base[offset + 100..offset + 197].to_vec();
+                let mut expect = buf.clone();
+                for (e, &s) in expect[offset..offset + 97].iter_mut().zip(&src) {
+                    *e ^= Gf(s).mul(Gf(c)).0;
+                }
+                mul_acc_slice(&mut buf[offset..offset + 97], &src, Gf(c));
+                assert_eq!(buf, expect, "offset={offset} c={c}");
+            }
         }
     }
 

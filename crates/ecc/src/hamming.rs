@@ -11,7 +11,7 @@
 //! readable without decoding and lets the syndrome logic repair errors in
 //! either region.
 
-use crate::bits::{get_bit, set_bit};
+use crate::bits::{get_bit, read_bits_at, set_bit, PackedBitWriter};
 use crate::codec::{
     single_correct_rate_per_mb, Capability, CorrectionReport, EccError, EccScheme, MB,
 };
@@ -119,6 +119,10 @@ pub(crate) fn layout(width: BlockWidth) -> &'static Layout {
 pub(crate) fn load_block(data: &[u8], i: usize, width: BlockWidth) -> u64 {
     let bs = width.data_bytes();
     let start = i * bs;
+    if start + 8 <= data.len() && bs == 8 {
+        // Full W64 block: one unaligned word load.
+        return u64::from_le_bytes(data[start..start + 8].try_into().unwrap());
+    }
     let end = (start + bs).min(data.len());
     let mut v = 0u64;
     for (k, &b) in data[start..end].iter().enumerate() {
@@ -185,19 +189,15 @@ impl EccScheme for Hamming {
 
     fn encode_parity_into(&self, data: &[u8], parity: &mut [u8]) {
         assert_eq!(parity.len(), self.parity_len(data.len()), "parity region size mismatch");
-        parity.fill(0);
         let lay = layout(self.width);
-        let r = lay.r as u64;
         let blocks = self.blocks(data.len());
+        // r-bit parity groups packed with whole-word stores; the writer
+        // covers every parity byte, so no fill(0) pass is needed.
+        let mut w = PackedBitWriter::new(parity);
         for i in 0..blocks {
-            let p = lay.parity_of(load_block(data, i, self.width));
-            let base = i as u64 * r;
-            for bit in 0..lay.r {
-                if p & (1 << bit) != 0 {
-                    set_bit(parity, base + bit as u64, true);
-                }
-            }
+            w.push(lay.parity_of(load_block(data, i, self.width)) as u64, lay.r);
         }
+        w.finish();
     }
 
     fn verify_and_correct(
@@ -222,12 +222,7 @@ impl EccScheme for Hamming {
             let mut block = load_block(data, i, self.width);
             let recomputed = lay.parity_of(block);
             let base = i as u64 * r;
-            let mut stored = 0u32;
-            for bit in 0..lay.r {
-                if get_bit(parity, base + bit as u64) {
-                    stored |= 1 << bit;
-                }
-            }
+            let stored = read_bits_at(parity, base, lay.r) as u32;
             let syndrome = recomputed ^ stored;
             if syndrome == 0 {
                 continue;
@@ -314,6 +309,29 @@ mod tests {
             let (out, report) = h.decode(&enc, data.len()).unwrap();
             assert_eq!(out, data);
             assert!(report.is_clean());
+        }
+    }
+
+    #[test]
+    fn packed_parity_matches_per_bit_reference() {
+        // The word-packed encoder must be bit-identical to the per-bit
+        // set_bit reference at every ragged length (wire format is pinned
+        // by the golden-container snapshots).
+        for h in [Hamming::w8(), Hamming::w64()] {
+            let lay = layout(h.width);
+            for len in [0usize, 1, 7, 8, 9, 63, 64, 65, 1001] {
+                let data = sample(len);
+                let mut reference = vec![0u8; h.parity_len(len)];
+                for i in 0..len.div_ceil(h.width.data_bytes()) {
+                    let p = lay.parity_of(load_block(&data, i, h.width));
+                    for bit in 0..lay.r {
+                        if p & (1 << bit) != 0 {
+                            set_bit(&mut reference, i as u64 * lay.r as u64 + bit as u64, true);
+                        }
+                    }
+                }
+                assert_eq!(h.encode_parity(&data), reference, "width={:?} len={len}", h.width);
+            }
         }
     }
 

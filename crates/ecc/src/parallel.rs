@@ -92,6 +92,10 @@ impl<S: EccScheme> ParallelCodec<S> {
         if chunk_size == 0 {
             return Err(EccError::InvalidConfig("chunk size must be >= 1".into()));
         }
+        // Build the lazily-initialized GF lookup tables before any worker
+        // touches them: keeps the one-time build out of the timed hot loops
+        // and out of the per-chunk allocation budget.
+        crate::gf256::warm_tables();
         let pool = if threads > 1 {
             Some(
                 rayon::ThreadPoolBuilder::new()

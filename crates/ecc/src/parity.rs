@@ -7,7 +7,7 @@
 //! throughput budgets when the user only asks for detection (§6.3 closes with
 //! exactly this trade-off).
 
-use crate::bits::{get_bit, set_bit};
+use crate::bits::PackedBitWriter;
 use crate::codec::{Capability, CorrectionReport, EccError, EccScheme, MB};
 
 /// Even-parity scheme configuration.
@@ -35,11 +35,17 @@ impl Parity {
 
     #[inline]
     fn block_parity(block: &[u8]) -> bool {
-        let mut acc = 0u8;
-        for &b in block {
-            acc ^= b;
+        // Fold over u64 lanes, then one popcount of the folded word.
+        let mut chunks = block.chunks_exact(8);
+        let mut acc = 0u64;
+        for c in &mut chunks {
+            acc ^= u64::from_le_bytes(c.try_into().unwrap());
         }
-        (acc.count_ones() & 1) == 1
+        let mut tail = 0u8;
+        for &b in chunks.remainder() {
+            tail ^= b;
+        }
+        ((acc.count_ones() ^ tail.count_ones()) & 1) == 1
     }
 }
 
@@ -64,12 +70,13 @@ impl EccScheme for Parity {
 
     fn encode_parity_into(&self, data: &[u8], parity: &mut [u8]) {
         assert_eq!(parity.len(), self.parity_len(data.len()), "parity region size mismatch");
-        parity.fill(0);
-        for (i, block) in data.chunks(self.bytes_per_parity_bit).enumerate() {
-            if Self::block_parity(block) {
-                set_bit(parity, i as u64, true);
-            }
+        // One bit per block, accumulated and flushed as whole words; the
+        // writer covers every parity byte so no fill(0) pass is needed.
+        let mut w = PackedBitWriter::new(parity);
+        for block in data.chunks(self.bytes_per_parity_bit) {
+            w.push(Self::block_parity(block) as u64, 1);
         }
+        w.finish();
     }
 
     fn verify_and_correct(
@@ -83,24 +90,42 @@ impl EccScheme for Parity {
                 detail: format!("parity region {} bytes, expected {expected}", parity.len()),
             });
         }
-        let mut bad_blocks = Vec::new();
-        for (i, block) in data.chunks(self.bytes_per_parity_bit).enumerate() {
-            if Self::block_parity(block) != get_bit(parity, i as u64) {
-                bad_blocks.push(i);
+        // Recompute parity 64 blocks at a time and compare whole words
+        // against the stored region; mismatch bits identify bad blocks.
+        let blocks = self.blocks(data.len());
+        let mut bad_count = 0u64;
+        let mut first_bad = usize::MAX;
+        let mut chunks = data.chunks(self.bytes_per_parity_bit);
+        let mut base = 0usize;
+        while base < blocks {
+            let in_word = (blocks - base).min(64);
+            let mut acc = 0u64;
+            for j in 0..in_word {
+                let block = chunks.next().expect("block count matches chunk count");
+                acc |= (Self::block_parity(block) as u64) << j;
             }
+            let byte = base / 8;
+            let take = parity.len().min(byte + 8) - byte;
+            let mut w = [0u8; 8];
+            w[..take].copy_from_slice(&parity[byte..byte + take]);
+            let stored = u64::from_le_bytes(w);
+            let mask = if in_word == 64 { u64::MAX } else { (1u64 << in_word) - 1 };
+            let diff = (acc ^ stored) & mask;
+            if diff != 0 {
+                bad_count += diff.count_ones() as u64;
+                if first_bad == usize::MAX {
+                    first_bad = base + diff.trailing_zeros() as usize;
+                }
+            }
+            base += in_word;
         }
-        if bad_blocks.is_empty() {
-            Ok(CorrectionReport {
-                blocks_checked: self.blocks(data.len()) as u64,
-                ..Default::default()
-            })
+        if bad_count == 0 {
+            Ok(CorrectionReport { blocks_checked: blocks as u64, ..Default::default() })
         } else {
             Err(EccError::Uncorrectable {
                 scheme: "parity",
                 detail: format!(
-                    "parity mismatch in {} block(s), first at block {}",
-                    bad_blocks.len(),
-                    bad_blocks[0]
+                    "parity mismatch in {bad_count} block(s), first at block {first_bad}"
                 ),
             })
         }

@@ -19,6 +19,9 @@
 //! memory speed (fast, Fig 9d), and repairs pay Gaussian elimination plus
 //! reconstruction (the Fig 10 cliff).
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
 use crate::codec::{Capability, CorrectionReport, EccError, EccScheme};
 use crate::crc::{crc32, crc32_zero_padded, CRC_LEN};
 use crate::gf256::{mul_acc_slice, Gf};
@@ -26,6 +29,17 @@ use crate::gf256::{mul_acc_slice, Gf};
 /// Maximum total device count (`k + m`) representable in GF(2^8) with the
 /// Cauchy construction used here.
 pub const MAX_DEVICES: usize = 255;
+
+/// Per-(k,m) cache of the row-major m×k Cauchy coefficient matrix.
+///
+/// `ReedSolomon` stays `Copy` (it is embedded in the `Copy` configuration
+/// space the trainer enumerates), so the matrix lives behind a process-wide
+/// memo warmed at construction: encode and erasure repair fetch one `Arc`
+/// clone per chunk instead of recomputing k·m field inversions, and the
+/// steady-state fetch performs no allocation (the counting-allocator tests
+/// pin this).
+type CoeffCache = Mutex<HashMap<(usize, usize), Arc<[Gf]>>>;
+static COEFF_CACHE: OnceLock<CoeffCache> = OnceLock::new();
 
 /// Reed-Solomon configuration: `k` data devices protected by `m` code devices.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -49,7 +63,29 @@ impl ReedSolomon {
                 k + m
             )));
         }
-        Ok(ReedSolomon { k, m })
+        let rs = ReedSolomon { k, m };
+        // Build the coefficient matrix now so every later encode/repair is a
+        // cache hit (and allocation-free).
+        let _ = rs.coeff_matrix();
+        Ok(rs)
+    }
+
+    /// The cached m×k Cauchy coefficient matrix, row-major: entry
+    /// `j * k + i` is `coeff(j, i)`.
+    fn coeff_matrix(&self) -> Arc<[Gf]> {
+        let cache = COEFF_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        let mut map = cache.lock().unwrap();
+        map.entry((self.k, self.m))
+            .or_insert_with(|| {
+                let mut rows = Vec::with_capacity(self.m * self.k);
+                for j in 0..self.m {
+                    for i in 0..self.k {
+                        rows.push(self.coeff(j, i));
+                    }
+                }
+                rows.into()
+            })
+            .clone()
     }
 
     /// Cauchy generator coefficient for code device `j`, data device `i`.
@@ -106,16 +142,18 @@ impl ReedSolomon {
             });
         }
         let rows = &good_parity[..t];
+        let coeffs = self.coeff_matrix();
         // rhs_r = parity[rows[r]] − Σ_{good i} C[rows[r]][i]·data_i
         let mut rhs: Vec<Vec<u8>> = Vec::with_capacity(t);
         for &j in rows {
             let mut acc = parity_devs[j * d..(j + 1) * d].to_vec();
-            for i in 0..self.k {
+            let row = &coeffs[j * self.k..(j + 1) * self.k];
+            for (i, &c) in row.iter().enumerate() {
                 if bad_data.contains(&i) {
                     continue;
                 }
                 let range = self.data_device_range(data.len(), i);
-                mul_acc_slice(&mut acc[..range.len()], &data[range], self.coeff(j, i));
+                mul_acc_slice(&mut acc[..range.len()], &data[range], c);
             }
             rhs.push(acc);
         }
@@ -123,7 +161,7 @@ impl ReedSolomon {
         let mut a = vec![Gf::ZERO; t * t];
         for (r, &j) in rows.iter().enumerate() {
             for (c, &i) in bad_data.iter().enumerate() {
-                a[r * t + c] = self.coeff(j, i);
+                a[r * t + c] = coeffs[j * self.k + i];
             }
         }
         // Gauss-Jordan with partial pivoting over GF(2^8); row operations are
@@ -198,12 +236,14 @@ impl EccScheme for ReedSolomon {
         }
         parity.fill(0);
         let d = self.device_size(data.len());
+        let coeffs = self.coeff_matrix();
         let (parity_devs, crc_table) = parity.split_at_mut(self.m * d);
         for j in 0..self.m {
             let dev = &mut parity_devs[j * d..(j + 1) * d];
-            for i in 0..self.k {
+            let row = &coeffs[j * self.k..(j + 1) * self.k];
+            for (i, &c) in row.iter().enumerate() {
                 let range = self.data_device_range(data.len(), i);
-                mul_acc_slice(&mut dev[..range.len()], &data[range], self.coeff(j, i));
+                mul_acc_slice(&mut dev[..range.len()], &data[range], c);
             }
         }
         for i in 0..self.k {
@@ -282,12 +322,14 @@ impl EccScheme for ReedSolomon {
             crc_table[i * CRC_LEN..(i + 1) * CRC_LEN].copy_from_slice(&c.to_le_bytes());
             report.corrected_devices += 1;
         }
+        let coeffs = self.coeff_matrix();
         for &j in &bad_parity {
             let dev = &mut parity_devs[j * d..(j + 1) * d];
             dev.fill(0);
-            for i in 0..self.k {
+            let row = &coeffs[j * self.k..(j + 1) * self.k];
+            for (i, &c) in row.iter().enumerate() {
                 let range = self.data_device_range(data.len(), i);
-                mul_acc_slice(&mut dev[..range.len()], &data[range], self.coeff(j, i));
+                mul_acc_slice(&mut dev[..range.len()], &data[range], c);
             }
             let c = crc32(dev);
             let idx = self.k + j;
@@ -337,6 +379,21 @@ mod tests {
                 assert_ne!(rs.coeff(j, i), Gf::ZERO);
             }
         }
+    }
+
+    #[test]
+    fn cached_coefficient_matrix_matches_formula() {
+        let rs = ReedSolomon::new(23, 7).unwrap();
+        let coeffs = rs.coeff_matrix();
+        assert_eq!(coeffs.len(), 7 * 23);
+        for j in 0..7 {
+            for i in 0..23 {
+                assert_eq!(coeffs[j * 23 + i], rs.coeff(j, i), "j={j} i={i}");
+            }
+        }
+        // Same (k,m) yields the same shared allocation.
+        let again = ReedSolomon::new(23, 7).unwrap().coeff_matrix();
+        assert!(Arc::ptr_eq(&coeffs, &again));
     }
 
     #[test]

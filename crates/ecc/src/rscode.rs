@@ -11,18 +11,28 @@
 //! container header must be decodable before any metadata is trusted. It is
 //! also benchmarked as an ablation against the CRC-erasure design.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
 use crate::codec::EccError;
 use crate::gf256::{Gf, Poly};
 
 /// Maximum codeword length in GF(2^8).
 pub const MAX_CODEWORD: usize = 255;
 
+/// Per-`nsym` memo of generator polynomials.
+///
+/// g(x) costs O(nsym²) `Poly::mul` work to rebuild, and `RsCodeword::new`
+/// runs on every container-header decode; the polynomial is immutable, so
+/// all codecs with the same `nsym` share one `Arc`.
+static GEN_CACHE: OnceLock<Mutex<HashMap<usize, Arc<Poly>>>> = OnceLock::new();
+
 /// A systematic Reed-Solomon codeword codec with `nsym` parity symbols.
 #[derive(Debug, Clone)]
 pub struct RsCodeword {
     /// Number of parity symbols appended to each message.
     pub nsym: usize,
-    generator: Poly,
+    generator: Arc<Poly>,
 }
 
 impl RsCodeword {
@@ -33,12 +43,21 @@ impl RsCodeword {
                 "rs codeword: nsym must be in 1..{MAX_CODEWORD}, got {nsym}"
             )));
         }
-        // g(x) = ∏_{i=0}^{nsym-1} (x − α^i)
-        let mut g = Poly::constant(Gf::ONE);
-        for i in 0..nsym {
-            g = g.mul(&Poly::from_coeffs(vec![Gf::alpha_pow(i as i32), Gf::ONE]));
-        }
-        Ok(RsCodeword { nsym, generator: g })
+        let cache = GEN_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        let generator = cache
+            .lock()
+            .unwrap()
+            .entry(nsym)
+            .or_insert_with(|| {
+                // g(x) = ∏_{i=0}^{nsym-1} (x − α^i)
+                let mut g = Poly::constant(Gf::ONE);
+                for i in 0..nsym {
+                    g = g.mul(&Poly::from_coeffs(vec![Gf::alpha_pow(i as i32), Gf::ONE]));
+                }
+                Arc::new(g)
+            })
+            .clone();
+        Ok(RsCodeword { nsym, generator })
     }
 
     /// Errors correctable per codeword when locations are unknown.

@@ -7,7 +7,7 @@
 //! the scheme ARC selects for the paper's §6.3 resiliency evaluation
 //! (1 error/MB → SEC-DED over every eight bytes).
 
-use crate::bits::{get_bit, set_bit};
+use crate::bits::{get_bit, read_bits_at, set_bit, PackedBitWriter};
 use crate::codec::{
     single_correct_rate_per_mb, Capability, CorrectionReport, EccError, EccScheme, MB,
 };
@@ -69,23 +69,20 @@ impl EccScheme for SecDed {
 
     fn encode_parity_into(&self, data: &[u8], parity: &mut [u8]) {
         assert_eq!(parity.len(), self.parity_len(data.len()), "parity region size mismatch");
-        parity.fill(0);
         let lay = layout(self.width);
-        let pb = self.parity_bits() as u64;
+        let pb = self.parity_bits();
         let blocks = self.blocks(data.len());
+        // Each block's Hamming bits plus overall bit form one (r+1)-bit
+        // group, packed with whole-word stores (no per-bit set_bit and no
+        // fill(0) pass — the writer covers every parity byte).
+        let mut w = PackedBitWriter::new(parity);
         for i in 0..blocks {
             let block = load_block(data, i, self.width);
             let ham = lay.parity_of(block);
-            let base = i as u64 * pb;
-            for bit in 0..lay.r {
-                if ham & (1 << bit) != 0 {
-                    set_bit(parity, base + bit as u64, true);
-                }
-            }
-            if Self::overall(block, ham) {
-                set_bit(parity, base + lay.r as u64, true);
-            }
+            let group = ham as u64 | ((Self::overall(block, ham) as u64) << lay.r);
+            w.push(group, pb);
         }
+        w.finish();
     }
 
     fn verify_and_correct(
@@ -107,13 +104,9 @@ impl EccScheme for SecDed {
             let mut block = load_block(data, i, self.width);
             let recomputed_ham = lay.parity_of(block);
             let base = i as u64 * pb;
-            let mut stored_ham = 0u32;
-            for bit in 0..lay.r {
-                if get_bit(parity, base + bit as u64) {
-                    stored_ham |= 1 << bit;
-                }
-            }
-            let stored_overall = get_bit(parity, base + lay.r as u64);
+            let group = read_bits_at(parity, base, self.parity_bits());
+            let stored_ham = (group as u32) & ((1 << lay.r) - 1);
+            let stored_overall = (group >> lay.r) & 1 == 1;
             let syndrome = recomputed_ham ^ stored_ham;
             // Overall parity check: recompute across received data + received
             // Hamming bits + received overall bit; zero means even weight.
@@ -198,6 +191,32 @@ mod tests {
             let (out, report) = s.decode(&enc, data.len()).unwrap();
             assert_eq!(out, data);
             assert!(report.is_clean());
+        }
+    }
+
+    #[test]
+    fn packed_parity_matches_per_bit_reference() {
+        for s in [SecDed::w8(), SecDed::w64()] {
+            let lay = layout(s.width);
+            for len in [0usize, 1, 7, 8, 9, 63, 64, 65, 777] {
+                let data = sample(len);
+                let mut reference = vec![0u8; s.parity_len(len)];
+                let pb = s.parity_bits() as u64;
+                for i in 0..len.div_ceil(s.width.data_bytes()) {
+                    let block = load_block(&data, i, s.width);
+                    let ham = lay.parity_of(block);
+                    let base = i as u64 * pb;
+                    for bit in 0..lay.r {
+                        if ham & (1 << bit) != 0 {
+                            set_bit(&mut reference, base + bit as u64, true);
+                        }
+                    }
+                    if SecDed::overall(block, ham) {
+                        set_bit(&mut reference, base + lay.r as u64, true);
+                    }
+                }
+                assert_eq!(s.encode_parity(&data), reference, "width={:?} len={len}", s.width);
+            }
         }
     }
 

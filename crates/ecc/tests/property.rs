@@ -38,6 +38,36 @@ proptest! {
         prop_assert_eq!(a.mul(a.inv()), Gf::ONE);
         prop_assert_eq!(a.div(a), Gf::ONE);
     }
+
+    // ---- word-wide kernels vs the scalar field ------------------------
+
+    #[test]
+    fn mul_acc_kernel_matches_scalar_field(
+        c: u8,
+        src in proptest::collection::vec(any::<u8>(), 0..300),
+        seed: u8,
+    ) {
+        let c = Gf(c);
+        let mut dst: Vec<u8> =
+            (0..src.len()).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect();
+        let mut reference = dst.clone();
+        for (d, &s) in reference.iter_mut().zip(&src) {
+            *d ^= c.mul(Gf(s)).0;
+        }
+        arc_ecc::gf256::mul_acc_slice(&mut dst, &src, c);
+        prop_assert_eq!(dst, reference);
+    }
+
+    #[test]
+    fn scale_kernel_matches_scalar_field(
+        c: u8,
+        mut buf in proptest::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let c = Gf(c);
+        let reference: Vec<u8> = buf.iter().map(|&b| c.mul(Gf(b)).0).collect();
+        arc_ecc::gf256::scale_slice(&mut buf, c);
+        prop_assert_eq!(buf, reference);
+    }
 }
 
 fn arb_scheme() -> impl Strategy<Value = EccConfig> {

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# ECC throughput regression gate.
+#
+# Runs the `ecc_baseline` bench bin and compares the fresh Reed-Solomon
+# single-thread encode throughput against the committed BENCH_ecc.json.
+# Fails if the fresh number regresses more than MAX_REGRESS_PCT (default
+# 20%) below the committed baseline — the guard for the table-driven
+# GF(2^8) kernels silently falling off their fast path.
+#
+# Usage: scripts/bench_ecc.sh
+# Optional env: MAX_REGRESS_PCT=20
+#
+# Parsing uses grep/sed/awk only (no jq dependency); it keys on the
+# hand-rolled one-object-per-line layout that ecc_baseline emits.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MAX_REGRESS_PCT="${MAX_REGRESS_PCT:-20}"
+BASELINE=BENCH_ecc.json
+
+if [[ ! -f "$BASELINE" ]]; then
+    echo "error: $BASELINE not found; record it first with" >&2
+    echo "  cargo run -p arc-bench --release --bin ecc_baseline > $BASELINE" >&2
+    exit 1
+fi
+
+# Extract the Reed-Solomon threads=1 encode_mib_s figure from a results file.
+rs_encode() {
+    grep '"scheme": "Reed-Solomon"' "$1" \
+        | grep '"threads": 1,' \
+        | sed -n 's/.*"encode_mib_s": \([0-9.]*\).*/\1/p' \
+        | head -n 1
+}
+
+committed="$(rs_encode "$BASELINE")"
+if [[ -z "$committed" ]]; then
+    echo "error: no Reed-Solomon threads=1 entry in $BASELINE" >&2
+    exit 1
+fi
+
+echo "==> cargo run -p arc-bench --release --bin ecc_baseline"
+fresh_json="$(mktemp)"
+trap 'rm -f "$fresh_json"' EXIT
+cargo run -p arc-bench --release --bin ecc_baseline > "$fresh_json"
+
+fresh="$(rs_encode "$fresh_json")"
+if [[ -z "$fresh" ]]; then
+    echo "error: bench output had no Reed-Solomon threads=1 entry" >&2
+    exit 1
+fi
+
+echo "RS encode (threads=1): committed ${committed} MiB/s, fresh ${fresh} MiB/s"
+awk -v fresh="$fresh" -v committed="$committed" -v pct="$MAX_REGRESS_PCT" '
+BEGIN {
+    floor = committed * (100 - pct) / 100
+    if (fresh < floor) {
+        printf "FAIL: fresh %.1f MiB/s is below the %.0f%% floor of %.1f MiB/s\n",
+            fresh, 100 - pct, floor
+        exit 1
+    }
+    printf "OK: fresh %.1f MiB/s >= %.0f%% floor of %.1f MiB/s\n",
+        fresh, 100 - pct, floor
+}'

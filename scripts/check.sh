@@ -3,6 +3,12 @@
 #
 # Usage: scripts/check.sh
 # Runs from the repo root regardless of the caller's cwd.
+#
+# Optional: set ARC_CHECK_BENCH=1 to also run scripts/bench_ecc.sh, which
+# fails if Reed-Solomon encode throughput regresses >20% against the
+# committed BENCH_ecc.json. Off by default — wall-clock throughput is too
+# noisy for shared CI machines, so run it locally before perf-sensitive
+# changes land.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -21,5 +27,10 @@ cargo test -q
 
 echo "==> workspace tests: cargo test --workspace -q"
 cargo test --workspace -q
+
+if [[ "${ARC_CHECK_BENCH:-0}" == "1" ]]; then
+    echo "==> throughput gate: scripts/bench_ecc.sh"
+    scripts/bench_ecc.sh
+fi
 
 echo "All checks passed."
