@@ -5,8 +5,14 @@
 //! built-in scheme at 1 thread and all available threads
 //! (`available_parallelism`, recorded as `max_threads`; the two coincide on
 //! a single-core machine), then prints a JSON document (hand-rolled — the
-//! repo takes no serde dependency). Redirect to the repo root to refresh
-//! the committed baseline:
+//! repo takes no serde dependency).
+//!
+//! Single-thread rows also carry a per-stage breakdown of the encode path
+//! (`stage_copy_s` for the data memcpy, `stage_parity_s` for the per-chunk
+//! parity kernels); the stages are measured directly — not through the
+//! telemetry feature — so the numbers are valid in the default build, and
+//! their sum is expected to land within 5% of `encode_s`. Redirect to the
+//! repo root to refresh the committed baseline:
 //!
 //! ```text
 //! cargo run -p arc-bench --release --bin ecc_baseline > BENCH_ecc.json
@@ -20,11 +26,21 @@ use arc_ecc::{EccScheme, ParallelCodec};
 const PROBE_BYTES: usize = 4 << 20;
 const RS_PROBE_BYTES: usize = 1 << 20;
 const REPS: usize = 5;
+/// Round-robin reps for the encode-stage breakdown (total, copy, parity
+/// measured in turn so noise hits all three alike; min of each).
+const STAGE_REPS: usize = 15;
 /// Correctable soft errors injected for the corrupt-decode column.
 const INJECT_ERRORS: usize = 500;
 
 fn probe(len: usize) -> Vec<u8> {
     (0..len).map(|i| ((i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 29) as u8).collect()
+}
+
+/// Wall time of one call to `f`, in seconds.
+fn one_sec(f: impl FnOnce()) -> f64 {
+    let t = Instant::now();
+    f();
+    t.elapsed().as_secs_f64()
 }
 
 /// Best-of-`REPS` wall time for `f`, in seconds.
@@ -64,7 +80,48 @@ fn main() {
         for &threads in &thread_points {
             let codec = ParallelCodec::new(config, threads).expect("codec");
             let mut out = vec![0u8; codec.encoded_len(data.len())];
-            let enc = best_secs(|| codec.encode_into(&data, &mut out));
+            // Per-stage breakdown of the sequential encode path: the data
+            // memcpy and the per-chunk parity loop are timed separately,
+            // mirroring exactly what the 1-thread `encode_into` does, so
+            // the two stages should sum to ~`encode_s` (warn beyond 5%).
+            // Total and stages are measured round-robin in the same loop so
+            // transient system noise lands on all three alike.
+            let (enc, stages) = if threads == 1 {
+                // Same buffer layout as the sequential `encode_into`: one
+                // container split into a data region and a parity region,
+                // so each stage touches exactly the memory the real path
+                // does. `black_box` keeps the memcpy from being elided.
+                let mut container = vec![0u8; codec.encoded_len(data.len())];
+                let (data_out, parity_out) = container.split_at_mut(data.len());
+                codec.encode_into(&data, &mut out); // warm up
+                let (mut enc, mut copy, mut par) = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+                for _ in 0..STAGE_REPS {
+                    enc = enc.min(one_sec(|| codec.encode_into(&data, &mut out)));
+                    copy = copy.min(one_sec(|| {
+                        data_out.copy_from_slice(&data);
+                        std::hint::black_box(&mut *data_out);
+                    }));
+                    par = par.min(one_sec(|| {
+                        let mut rest = &mut *parity_out;
+                        for chunk in data.chunks(codec.chunk_size()) {
+                            let (p, r) = rest.split_at_mut(config.parity_len(chunk.len()));
+                            config.encode_parity_into(chunk, p);
+                            rest = r;
+                        }
+                        std::hint::black_box(&mut *parity_out);
+                    }));
+                }
+                if ((copy + par) - enc).abs() > 0.05 * enc {
+                    eprintln!(
+                        "warning: {name} stage sum {:.3e}s deviates >5% from \
+                         encode {enc:.3e}s",
+                        copy + par
+                    );
+                }
+                (enc, Some((copy, par)))
+            } else {
+                (best_secs(|| codec.encode_into(&data, &mut out)), None)
+            };
             let mut encoded = codec.encode(&data);
             let dec = best_secs(|| {
                 codec.decode_in_place(&mut encoded, data.len()).expect("clean decode");
@@ -88,18 +145,26 @@ fn main() {
                 Some(secs) => format!("{:.1}", mbps(secs)),
                 None => "null".to_string(),
             };
+            let (copy_field, parity_field) = match stages {
+                Some((c, p)) => (format!("{c:.6e}"), format!("{p:.6e}")),
+                None => ("null".to_string(), "null".to_string()),
+            };
             entries.push(format!(
                 concat!(
                     "    {{\"scheme\": \"{}\", \"threads\": {}, \"bytes\": {}, ",
                     "\"encode_mib_s\": {:.1}, \"decode_clean_mib_s\": {:.1}, ",
-                    "\"decode_corrupt_mib_s\": {}}}"
+                    "\"decode_corrupt_mib_s\": {}, \"encode_s\": {:.6e}, ",
+                    "\"stage_copy_s\": {}, \"stage_parity_s\": {}}}"
                 ),
                 name,
                 threads,
                 len,
                 mbps(enc),
                 mbps(dec),
-                corrupt_field
+                corrupt_field,
+                enc,
+                copy_field,
+                parity_field
             ));
         }
     }

@@ -93,6 +93,11 @@ USAGE:
   arc-cli failure-model <cielo|hopper> [--days D]
   arc-cli help
 
+GLOBAL FLAGS:
+  --metrics[=PATH]   after the command, dump telemetry (Prometheus text,
+                     or JSON when PATH ends in .json) to stdout or PATH;
+                     needs a build with --features telemetry
+
 CONSTRAINTS (protect):
   --mem F            storage cap as a fraction of the input (e.g. 0.25)
   --bw MBPS          encoding-throughput floor in MB/s
@@ -101,6 +106,70 @@ CONSTRAINTS (protect):
   --burst            require burst correction (ARC_COR_BURST)
   --sparse           require sparse correction (ARC_COR_SPARSE)
 ";
+
+/// A full command-line invocation: the command plus global flags that
+/// apply to every command (currently only `--metrics`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Invocation {
+    /// The parsed command.
+    pub command: Command,
+    /// Telemetry export destination: `None` = not requested, `Some("")` =
+    /// stdout, `Some(path)` = file (JSON when the path ends in `.json`,
+    /// Prometheus text otherwise).
+    pub metrics: Option<String>,
+}
+
+/// Parse an argument vector (without the program name), splitting off the
+/// global `--metrics[=PATH]` flag before command parsing.
+pub fn parse_invocation(args: &[String]) -> Result<Invocation, String> {
+    let mut metrics = None;
+    let mut rest: Vec<String> = Vec::with_capacity(args.len());
+    for a in args {
+        if a == "--metrics" {
+            metrics = Some(String::new());
+        } else if let Some(path) = a.strip_prefix("--metrics=") {
+            if path.is_empty() {
+                return Err("--metrics= needs a path (or omit `=` for stdout)".into());
+            }
+            metrics = Some(path.to_string());
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    Ok(Invocation { command: parse(&rest)?, metrics })
+}
+
+/// Execute a parsed invocation: run the command, then export telemetry if
+/// `--metrics` was given. Returns the process exit code.
+pub fn run_invocation(inv: Invocation) -> i32 {
+    let code = run(inv.command);
+    if let Some(dest) = &inv.metrics {
+        if let Err(e) = emit_metrics(dest) {
+            eprintln!("arc-cli: --metrics: {e}");
+            return if code == 0 { 1 } else { code };
+        }
+    }
+    code
+}
+
+/// Render the telemetry snapshot to `dest` ("" = stdout; a path ending in
+/// `.json` gets JSON, anything else Prometheus text exposition).
+fn emit_metrics(dest: &str) -> Result<(), String> {
+    if !arc_telemetry::enabled() {
+        eprintln!(
+            "arc-cli: note: built without the `telemetry` feature; \
+             metrics output will be empty"
+        );
+    }
+    let snap = arc_telemetry::snapshot();
+    let text = if dest.ends_with(".json") { snap.to_json() } else { snap.to_prometheus_text() };
+    if dest.is_empty() {
+        print!("{text}");
+        Ok(())
+    } else {
+        std::fs::write(dest, text).map_err(|e| format!("write {dest:?}: {e}"))
+    }
+}
 
 fn parse_method(s: &str) -> Result<EccMethod, String> {
     match s {
@@ -447,6 +516,46 @@ mod tests {
             parse(&args("train --quick-train --cache /tmp/c")).unwrap(),
             Command::Train { quick_train: true, .. }
         ));
+    }
+
+    #[test]
+    fn parse_invocation_strips_metrics_flag() {
+        // Bare --metrics → stdout sentinel; command parses as if absent.
+        let inv = parse_invocation(&args("verify f.arc --metrics")).unwrap();
+        assert_eq!(inv.metrics, Some(String::new()));
+        assert_eq!(inv.command, parse(&args("verify f.arc")).unwrap());
+        // --metrics=PATH anywhere in the line, .json or not.
+        let inv = parse_invocation(&args("--metrics=out.json inspect f.arc")).unwrap();
+        assert_eq!(inv.metrics, Some("out.json".to_string()));
+        assert!(matches!(inv.command, Command::Inspect { .. }));
+        // No flag → None.
+        assert_eq!(parse_invocation(&args("help")).unwrap().metrics, None);
+        // Empty path is rejected; other parse errors still surface.
+        assert!(parse_invocation(&args("verify f.arc --metrics=")).is_err());
+        assert!(parse_invocation(&args("frobnicate --metrics")).is_err());
+    }
+
+    #[test]
+    fn metrics_file_export_writes_document() {
+        let dir = std::env::temp_dir().join(format!("arc-cli-metrics-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let json = dir.join("m.json");
+        let prom = dir.join("m.prom");
+        let inv = Invocation {
+            command: Command::FailureModel { system: "cielo".into(), days: 1.0 },
+            metrics: Some(json.display().to_string()),
+        };
+        assert_eq!(run_invocation(inv), 0);
+        let body = std::fs::read_to_string(&json).unwrap();
+        // Valid JSON skeleton whether or not the feature is compiled in.
+        assert!(body.starts_with('{') && body.contains("\"spans\""));
+        let inv = Invocation {
+            command: Command::FailureModel { system: "hopper".into(), days: 1.0 },
+            metrics: Some(prom.display().to_string()),
+        };
+        assert_eq!(run_invocation(inv), 0);
+        assert!(prom.exists());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

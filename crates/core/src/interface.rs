@@ -179,6 +179,7 @@ impl ArcContext {
         config: EccConfig,
         threads: usize,
     ) -> Result<Vec<u8>, ArcError> {
+        let _span = arc_telemetry::span("core.encode");
         let cap = self.max_threads.max(1);
         let threads = if threads == ANY_THREADS { cap } else { threads.min(cap) };
         let codec = ParallelCodec::with_chunk_size(config, threads, self.chunk_size)?;
@@ -263,6 +264,7 @@ pub fn decode_with_threads(
     bytes: &[u8],
     threads: usize,
 ) -> Result<(Vec<u8>, ArcDecodeReport), ArcError> {
+    let _span = arc_telemetry::span("core.decode");
     let unpacked = container::unpack(bytes)?;
     let meta = &unpacked.meta;
     let config = meta.builtin_config().ok_or_else(|| {
@@ -305,6 +307,7 @@ pub fn decode_in_place_with_threads(
     bytes: &mut [u8],
     threads: usize,
 ) -> Result<(std::ops::Range<usize>, ArcDecodeReport), ArcError> {
+    let _span = arc_telemetry::span("core.decode");
     let (meta, payload_offset, used_backup_header, header_symbols_corrected) = {
         let unpacked = container::unpack(bytes)?;
         (

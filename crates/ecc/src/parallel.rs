@@ -92,6 +92,8 @@ impl<S: EccScheme> ParallelCodec<S> {
         if chunk_size == 0 {
             return Err(EccError::InvalidConfig("chunk size must be >= 1".into()));
         }
+        // Thread fan-out distribution: one sample per codec construction.
+        arc_telemetry::histogram_record("ecc.codec.threads", threads as u64);
         // Build the lazily-initialized GF lookup tables before any worker
         // touches them: keeps the one-time build out of the timed hot loops
         // and out of the per-chunk allocation budget.
@@ -148,6 +150,12 @@ impl<S: EccScheme> ParallelCodec<S> {
     /// with a pool, workers write their disjoint regions concurrently and
     /// only the job list itself is allocated.
     pub fn encode_into(&self, data: &[u8], out: &mut [u8]) {
+        let _span = arc_telemetry::span("ecc.encode");
+        arc_telemetry::counter_add("ecc.encode.bytes", data.len() as u64);
+        arc_telemetry::counter_add(
+            "ecc.encode.chunks_submitted",
+            data.len().div_ceil(self.chunk_size) as u64,
+        );
         let expected = self.encoded_len(data.len());
         assert_eq!(out.len(), expected, "encode_into: output buffer size mismatch");
         let (data_out, parity_all) = out.split_at_mut(data.len());
@@ -166,8 +174,11 @@ impl<S: EccScheme> ParallelCodec<S> {
                 }
                 pool.install(|| {
                     jobs.par_iter_mut().for_each(|(src, dst, parity)| {
+                        let t = arc_telemetry::Stopwatch::start();
                         dst.copy_from_slice(src);
                         self.config.encode_parity_into(src, parity);
+                        arc_telemetry::histogram_record("ecc.encode.chunk_ns", t.elapsed_ns());
+                        arc_telemetry::counter_add("ecc.encode.chunks_done", 1);
                     });
                 });
             }
@@ -177,7 +188,10 @@ impl<S: EccScheme> ParallelCodec<S> {
                 for chunk in data.chunks(self.chunk_size) {
                     let (p, rest) = parity_rest.split_at_mut(self.config.parity_len(chunk.len()));
                     parity_rest = rest;
+                    let t = arc_telemetry::Stopwatch::start();
                     self.config.encode_parity_into(chunk, p);
+                    arc_telemetry::histogram_record("ecc.encode.chunk_ns", t.elapsed_ns());
+                    arc_telemetry::counter_add("ecc.encode.chunks_done", 1);
                 }
             }
         }
@@ -208,6 +222,12 @@ impl<S: EccScheme> ParallelCodec<S> {
         encoded: &mut [u8],
         data_len: usize,
     ) -> Result<CorrectionReport, EccError> {
+        let _span = arc_telemetry::span("ecc.decode");
+        arc_telemetry::counter_add("ecc.decode.bytes", data_len as u64);
+        arc_telemetry::counter_add(
+            "ecc.decode.chunks_submitted",
+            data_len.div_ceil(self.chunk_size) as u64,
+        );
         let expected = self.encoded_len(data_len);
         if encoded.len() != expected {
             return Err(EccError::Malformed {
@@ -218,7 +238,7 @@ impl<S: EccScheme> ParallelCodec<S> {
             });
         }
         let (data_all, parity_all) = encoded.split_at_mut(data_len);
-        match &self.pool {
+        let merged = match &self.pool {
             Some(pool) => {
                 let mut jobs: Vec<(&mut [u8], &mut [u8])> =
                     Vec::with_capacity(data_len.div_ceil(self.chunk_size));
@@ -230,14 +250,20 @@ impl<S: EccScheme> ParallelCodec<S> {
                 }
                 let results: Vec<Result<CorrectionReport, EccError>> = pool.install(|| {
                     jobs.par_iter_mut()
-                        .map(|(chunk, parity)| self.config.verify_and_correct(chunk, parity))
+                        .map(|(chunk, parity)| {
+                            let t = arc_telemetry::Stopwatch::start();
+                            let r = self.config.verify_and_correct(chunk, parity);
+                            arc_telemetry::histogram_record("ecc.decode.chunk_ns", t.elapsed_ns());
+                            arc_telemetry::counter_add("ecc.decode.chunks_done", 1);
+                            r
+                        })
                         .collect()
                 });
                 let mut merged = CorrectionReport::default();
                 for r in results {
                     merged.merge(&r?);
                 }
-                Ok(merged)
+                merged
             }
             None => {
                 let mut merged = CorrectionReport::default();
@@ -245,11 +271,18 @@ impl<S: EccScheme> ParallelCodec<S> {
                 for chunk in data_all.chunks_mut(self.chunk_size) {
                     let (p, rest) = parity_rest.split_at_mut(self.config.parity_len(chunk.len()));
                     parity_rest = rest;
-                    merged.merge(&self.config.verify_and_correct(chunk, p)?);
+                    let t = arc_telemetry::Stopwatch::start();
+                    let r = self.config.verify_and_correct(chunk, p);
+                    arc_telemetry::histogram_record("ecc.decode.chunk_ns", t.elapsed_ns());
+                    arc_telemetry::counter_add("ecc.decode.chunks_done", 1);
+                    merged.merge(&r?);
                 }
-                Ok(merged)
+                merged
             }
-        }
+        };
+        arc_telemetry::counter_add("ecc.decode.corrected_bits", merged.corrected_bits);
+        arc_telemetry::counter_add("ecc.decode.corrected_devices", merged.corrected_devices);
+        Ok(merged)
     }
 
     /// Decode an encoded buffer, verifying and repairing every chunk.

@@ -1,0 +1,63 @@
+//! Telemetry accounting under an oversubscribed pool: a `ParallelCodec`
+//! running on 4× the machine's cores must report counters that sum exactly
+//! to the work submitted — no chunk lost or double-counted however the
+//! workers interleave.
+//!
+//! One `#[test]` function only: the telemetry registry is process-global,
+//! so concurrent test functions would see each other's counts.
+
+#![cfg(feature = "telemetry")]
+
+use arc_ecc::{EccConfig, ParallelCodec};
+
+const CHUNK: usize = 4096;
+const DATA_LEN: usize = 100_000;
+const REPS: u64 = 3;
+
+#[test]
+fn oversubscribed_pool_counters_sum_to_work_submitted() {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = cores * 4;
+    arc_telemetry::reset();
+    let codec = ParallelCodec::with_chunk_size(EccConfig::secded(true), threads, CHUNK).unwrap();
+
+    let data: Vec<u8> = (0..DATA_LEN).map(|i| (i * 31 % 251) as u8).collect();
+    let chunks_per_pass = DATA_LEN.div_ceil(CHUNK) as u64;
+    for _ in 0..REPS {
+        let mut encoded = codec.encode(&data);
+        let report = codec.decode_in_place(&mut encoded, data.len()).unwrap();
+        assert_eq!(&encoded[..data.len()], &data[..]);
+        assert_eq!(report.corrected_bits, 0, "clean decode corrected something");
+    }
+
+    let snap = arc_telemetry::snapshot();
+    let expected = REPS * chunks_per_pass;
+    for dir in ["encode", "decode"] {
+        let submitted = snap.counter(&format!("ecc.{dir}.chunks_submitted"));
+        let done = snap.counter(&format!("ecc.{dir}.chunks_done"));
+        assert_eq!(submitted, expected, "{dir} submitted");
+        assert_eq!(done, expected, "{dir} done: a chunk was lost or double-counted");
+        let hist_name = format!("ecc.{dir}.chunk_ns");
+        let hist = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == hist_name)
+            .unwrap_or_else(|| panic!("missing histogram {hist_name}"));
+        assert_eq!(hist.count, expected, "{dir} per-chunk timing samples");
+        assert_eq!(snap.counter(&format!("ecc.{dir}.bytes")), REPS * DATA_LEN as u64);
+    }
+    assert_eq!(snap.counter("ecc.decode.corrected_bits"), 0);
+
+    // The pool-width histogram must have seen exactly the oversubscribed
+    // thread count we configured.
+    let widths = snap.histograms.iter().find(|h| h.name == "ecc.codec.threads").unwrap();
+    assert_eq!(widths.count, 1);
+    assert_eq!(widths.sum, threads as u64);
+
+    // Encode/decode wall-time spans: one per pass, strictly positive.
+    for name in ["ecc.encode", "ecc.decode"] {
+        let span = snap.span(name).unwrap_or_else(|| panic!("missing span {name}"));
+        assert_eq!(span.count, REPS, "{name} span count");
+        assert!(span.total_ns > 0, "{name} span recorded no time");
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for the §4.1.3 integrity metrics: the algebraic
+//! invariants that every figure in the paper's evaluation leans on.
+//!
+//! * zero noise ⇒ infinite PSNR, zero RMSE, zero max-abs-diff, 0% incorrect;
+//! * scaling an additive noise vector by k ≥ 1 scales RMSE and max-abs-diff
+//!   by exactly k (in exact f64 arithmetic on f32-representable noise);
+//! * percent-incorrect under an absolute bound is monotone nondecreasing as
+//!   the noise grows.
+
+use proptest::prelude::*;
+
+use arc_pressio::{incorrect_elements, max_abs_diff, percent_incorrect, psnr, rmse, BoundSpec};
+
+fn arb_signal() -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-1e4f32..1e4f32, 1..128)
+}
+
+/// Noise drawn from exact powers of two, so multiplying by a power-of-two
+/// scale is exact in both f32 and f64 and the k-scaling law holds with no
+/// rounding slop.
+fn arb_noise(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(
+        (0u32..24).prop_map(|e| ((e as i32 - 20) as f64).exp2() as f32),
+        n..=n,
+    )
+}
+
+fn arb_signal_with_noise() -> impl Strategy<Value = (Vec<f32>, Vec<f32>)> {
+    arb_signal().prop_flat_map(|signal| {
+        let n = signal.len();
+        (Just(signal), arb_noise(n))
+    })
+}
+
+fn add(signal: &[f32], noise: &[f32], k: f32) -> Vec<f32> {
+    signal.iter().zip(noise).map(|(s, d)| s + k * d).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn zero_noise_means_perfect_metrics(signal in arb_signal()) {
+        prop_assert_eq!(rmse(&signal, &signal), 0.0);
+        prop_assert_eq!(psnr(&signal, &signal), f64::INFINITY);
+        prop_assert_eq!(max_abs_diff(&signal, &signal), 0.0);
+        for bound in [BoundSpec::Abs(1e-9), BoundSpec::PwRel(1e-9)] {
+            prop_assert_eq!(incorrect_elements(&signal, &signal, bound), 0);
+            prop_assert_eq!(percent_incorrect(&signal, &signal, bound), 0.0);
+        }
+    }
+
+    #[test]
+    fn power_of_two_scaling_scales_rmse_and_max_diff_exactly(
+        signal in arb_signal(),
+        k_exp in 1u32..8,
+    ) {
+        // Compare metrics of (signal, signal+noise) against
+        // (signal, signal+k·noise) with k a power of two: RMSE and
+        // max-abs-diff are homogeneous of degree 1 in the noise. Computing
+        // each difference directly (0 vs noise) keeps the arithmetic exact.
+        let noise = (0..signal.len()).map(|i| (-(i as i32 % 16)) as f32).collect::<Vec<_>>();
+        let zeros = vec![0.0f32; signal.len()];
+        let k = (k_exp as f64).exp2() as f32;
+        let base = add(&zeros, &noise, 1.0);
+        let scaled = add(&zeros, &noise, k);
+        prop_assert_eq!(rmse(&zeros, &scaled), k as f64 * rmse(&zeros, &base));
+        prop_assert_eq!(
+            max_abs_diff(&zeros, &scaled),
+            k as f64 * max_abs_diff(&zeros, &base)
+        );
+    }
+
+    #[test]
+    fn percent_incorrect_is_monotone_in_noise_scale(
+        (signal, noise) in arb_signal_with_noise(),
+    ) {
+        let bound = BoundSpec::Abs(0.5);
+        let mut prev = -1.0f64;
+        for k_exp in 0..6 {
+            let k = (k_exp as f64).exp2() as f32;
+            let decoded = add(&signal, &noise, k);
+            let pct = percent_incorrect(&signal, &decoded, bound);
+            prop_assert!(
+                pct + 1e-12 >= prev,
+                "percent_incorrect fell from {prev} to {pct} at k={k}"
+            );
+            prop_assert!((0.0..=100.0).contains(&pct));
+            prev = pct;
+        }
+    }
+
+    #[test]
+    fn psnr_decreases_as_noise_grows(signal in arb_signal()) {
+        // PSNR is a strictly decreasing function of RMSE for a fixed value
+        // range, so doubling the noise can never raise it.
+        prop_assume!(signal.len() >= 2);
+        let noise: Vec<f32> = (0..signal.len()).map(|i| 0.125 * ((i % 7) as f32 + 1.0)).collect();
+        let mut prev = f64::INFINITY;
+        for k_exp in 0..5 {
+            let k = (k_exp as f64).exp2() as f32;
+            let p = psnr(&signal, &add(&signal, &noise, k));
+            prop_assert!(p <= prev + 1e-9, "PSNR rose from {prev} to {p} at k={k}");
+            prev = p;
+        }
+    }
+}

@@ -101,6 +101,8 @@ const CODE_LITERAL: u32 = 0;
 
 /// Compress `data` (row-major, `dims` slowest-first) under `cfg`.
 pub fn compress(data: &[f32], dims: &[usize], cfg: &SzConfig) -> Result<Vec<u8>, SzError> {
+    let _span = arc_telemetry::span("sz.compress");
+    arc_telemetry::counter_add("sz.compress.elements", data.len() as u64);
     let shape =
         GridShape::new(dims).ok_or_else(|| SzError::Malformed(format!("invalid dims {dims:?}")))?;
     if shape.len() != data.len() {
@@ -141,6 +143,10 @@ pub fn compress(data: &[f32], dims: &[usize], cfg: &SzConfig) -> Result<Vec<u8>,
     let mut zero_mask = vec![0u8; if plan.log_domain { n.div_ceil(8) } else { 0 }];
     let mut sign_mask = vec![0u8; if plan.log_domain { n.div_ceil(8) } else { 0 }];
 
+    // The prediction/quantization stage is one serial loop: each element's
+    // quantization depends on the reconstructed neighborhood, so the two
+    // sub-steps cannot be timed apart without breaking the data flow.
+    let stage = arc_telemetry::span("predict_quantize");
     for idx in 0..n {
         let x = data[idx];
         let pred = predictor.predict(&recon, idx);
@@ -208,10 +214,16 @@ pub fn compress(data: &[f32], dims: &[usize], cfg: &SzConfig) -> Result<Vec<u8>,
         }
     }
 
+    drop(stage);
+    arc_telemetry::counter_add("sz.compress.literals", literals.len() as u64);
+
     // Assemble the body, then run the ZStd-like final pass over it (§2.1.1's
     // third step).
     let mut body = Vec::new();
-    let code_block = huffman_encode_block(&codes, cfg.quant_bins + 1).map_err(SzError::Lossless)?;
+    let code_block = {
+        let _stage = arc_telemetry::span("huffman");
+        huffman_encode_block(&codes, cfg.quant_bins + 1).map_err(SzError::Lossless)?
+    };
     write_varint(&mut body, code_block.len() as u64);
     body.extend_from_slice(&code_block);
     write_varint(&mut body, literals.len() as u64);
@@ -222,8 +234,12 @@ pub fn compress(data: &[f32], dims: &[usize], cfg: &SzConfig) -> Result<Vec<u8>,
         body.extend_from_slice(&zero_mask);
         body.extend_from_slice(&sign_mask);
     }
-    let packed_body =
-        if cfg.final_lossless { arc_lossless::zstd_like::compress(&body) } else { body };
+    let packed_body = if cfg.final_lossless {
+        let _stage = arc_telemetry::span("zstd");
+        arc_lossless::zstd_like::compress(&body)
+    } else {
+        body
+    };
 
     let header = Header {
         bound: cfg.bound,
@@ -248,6 +264,7 @@ pub fn decompress(bytes: &[u8]) -> Result<SzDecoded, SzError> {
 
 /// Decompress with explicit resource limits.
 pub fn decompress_with_limits(bytes: &[u8], limits: &DecodeLimits) -> Result<SzDecoded, SzError> {
+    let _span = arc_telemetry::span("sz.decompress");
     let mut pos = 0usize;
     let header = Header::read(bytes, &mut pos)?;
     let n64 = header.element_count();
@@ -261,6 +278,7 @@ pub fn decompress_with_limits(bytes: &[u8], limits: &DecodeLimits) -> Result<SzD
         .filter(|&e| e <= bytes.len())
         .ok_or_else(|| SzError::Malformed("body length out of range".into()))?;
     let body = if header.final_lossless {
+        let _stage = arc_telemetry::span("zstd");
         arc_lossless::zstd_like::decompress(&bytes[pos..end])?
     } else {
         bytes[pos..end].to_vec()
@@ -280,7 +298,10 @@ pub fn decompress_with_limits(bytes: &[u8], limits: &DecodeLimits) -> Result<SzD
     let mut cpos = bpos;
     // A corrupt Huffman payload decodes to however many symbols it can;
     // missing codes fall back to the zero-quantum bin below.
-    let mut codes = huffman_decode_block(&body, &mut cpos).unwrap_or_default();
+    let mut codes = {
+        let _stage = arc_telemetry::span("huffman");
+        huffman_decode_block(&body, &mut cpos).unwrap_or_default()
+    };
     bpos = code_end;
     let mid = (header.quant_bins / 2) as i64;
     let zero_quantum_code = (mid + 1) as u32;
@@ -322,6 +343,7 @@ pub fn decompress_with_limits(bytes: &[u8], limits: &DecodeLimits) -> Result<SzD
     let mut recon = vec![0.0f64; n];
     let mut out = vec![0.0f32; n];
     let mut lit_cursor = 0usize;
+    let _stage = arc_telemetry::span("reconstruct");
     for idx in 0..n {
         let pred = predictor.predict(&recon, idx);
         let code = codes[idx];

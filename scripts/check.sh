@@ -9,6 +9,10 @@
 # committed BENCH_ecc.json. Off by default — wall-clock throughput is too
 # noisy for shared CI machines, so run it locally before perf-sensitive
 # changes land.
+#
+# Optional: set ARC_CHECK_TELEMETRY=1 to also build and test with the
+# `telemetry` feature on. The golden container/stream suites run in both
+# modes, proving instrumentation never changes any encoded byte.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -27,6 +31,17 @@ cargo test -q
 
 echo "==> workspace tests: cargo test --workspace -q"
 cargo test --workspace -q
+
+if [[ "${ARC_CHECK_TELEMETRY:-0}" == "1" ]]; then
+    echo "==> telemetry: cargo build --release --features telemetry"
+    cargo build --release --features telemetry
+    echo "==> telemetry: cargo test -q --features telemetry"
+    cargo test -q --features telemetry
+    echo "==> telemetry: cargo test -q -p arc-core --features telemetry"
+    cargo test -q -p arc-core --features telemetry
+    echo "==> telemetry: cargo test -q -p arc-ecc --features telemetry"
+    cargo test -q -p arc-ecc --features telemetry
+fi
 
 if [[ "${ARC_CHECK_BENCH:-0}" == "1" ]]; then
     echo "==> throughput gate: scripts/bench_ecc.sh"

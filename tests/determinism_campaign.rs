@@ -1,0 +1,66 @@
+//! Campaign determinism: the same seed must yield an identical
+//! [`CampaignReport`] no matter how many threads the rayon pool runs.
+//!
+//! The parallel map in `run_campaign` is an order-preserving collect, so
+//! trial outcomes land in target-bit order regardless of which worker ran
+//! them; this test pins that contract across 1-, 2-, and 8-thread pools.
+//! Wall-clock fields (`decompress_seconds`, `bandwidth_mb_s`) are excluded
+//! from the comparison — they legitimately vary run to run.
+
+use arc::datasets::SdrDataset;
+use arc::faultsim::{run_campaign_with_bound, sample_bits, CampaignReport, TrialOutcome};
+use arc::pressio::{BoundSpec, CompressorSpec, Dataset};
+
+/// The deterministic projection of one trial: everything except wall-clock.
+#[derive(Debug, PartialEq, Eq)]
+struct TrialKey {
+    bit: Option<u64>,
+    status: &'static str,
+    percent_incorrect: Option<u64>,
+    incorrect_elements: Option<usize>,
+    max_abs_diff: u64,
+    psnr: u64,
+}
+
+fn key(t: &TrialOutcome) -> TrialKey {
+    TrialKey {
+        bit: t.bit,
+        status: t.status.label(),
+        percent_incorrect: t.metrics.as_ref().and_then(|m| m.percent_incorrect).map(f64::to_bits),
+        incorrect_elements: t.metrics.as_ref().and_then(|m| m.incorrect_elements),
+        max_abs_diff: t.metrics.as_ref().map_or(0, |m| m.max_abs_diff.to_bits()),
+        psnr: t.metrics.as_ref().map_or(0, |m| m.psnr.to_bits()),
+    }
+}
+
+fn run_at(threads: usize) -> CampaignReport {
+    let field = SdrDataset::CesmCldlow.generate(&[48, 96], 77);
+    let comp = CompressorSpec::SzAbs(0.05).build();
+    let stream = comp.compress(&Dataset { data: &field.data, dims: &field.dims }).unwrap();
+    let bits = sample_bits(stream.len() as u64 * 8, 200, 42);
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+    pool.install(|| {
+        run_campaign_with_bound(
+            comp.as_ref(),
+            &field.data,
+            &stream,
+            &bits,
+            Some(BoundSpec::Abs(0.05)),
+        )
+    })
+}
+
+#[test]
+fn same_seed_same_report_across_thread_counts() {
+    let baseline = run_at(1);
+    for threads in [2usize, 8] {
+        let report = run_at(threads);
+        assert_eq!(report.total_bits, baseline.total_bits);
+        assert_eq!(report.trials.len(), baseline.trials.len(), "{threads} threads");
+        assert_eq!(key(&report.control), key(&baseline.control), "{threads} threads");
+        for (i, (a, b)) in report.trials.iter().zip(&baseline.trials).enumerate() {
+            assert_eq!(key(a), key(b), "trial {i} diverged at {threads} threads");
+        }
+        assert_eq!(report.status_counts(), baseline.status_counts(), "{threads} threads");
+    }
+}
