@@ -151,7 +151,9 @@ impl EccConfig {
     pub fn standard_space() -> Vec<EccConfig> {
         let mut out = Vec::new();
         for b in [1usize, 2, 4, 8, 16, 32, 64, 128] {
-            out.push(EccConfig::parity(b).expect("static parity config"));
+            if let Ok(cfg) = EccConfig::parity(b) {
+                out.push(cfg);
+            }
         }
         out.push(EccConfig::hamming(false));
         out.push(EccConfig::hamming(true));
@@ -170,7 +172,9 @@ impl EccConfig {
                 continue;
             }
             last_m = m;
-            out.push(EccConfig::rs(MAX_DEVICES - m, m).expect("static rs config"));
+            if let Ok(cfg) = EccConfig::rs(MAX_DEVICES - m, m) {
+                out.push(cfg);
+            }
         }
         out
     }

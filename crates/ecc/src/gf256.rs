@@ -230,14 +230,24 @@ fn simd_level() -> SimdLevel {
     })
 }
 
+/// Little-endian u64 load from a `chunks_exact(8)` chunk. The clamped copy
+/// keeps the conversion infallible — no abort path even if a caller ever
+/// hands a short slice.
+#[inline]
+fn le_word(b: &[u8]) -> u64 {
+    let mut w = [0u8; 8];
+    let n = b.len().min(8);
+    w[..n].copy_from_slice(&b[..n]);
+    u64::from_le_bytes(w)
+}
+
 /// `dst[i] ^= src[i]` — the c = 1 case, folded over u64 lanes.
 #[inline]
 fn xor_slice(dst: &mut [u8], src: &[u8]) {
     let mut d8 = dst.chunks_exact_mut(8);
     let mut s8 = src.chunks_exact(8);
     for (d, s) in (&mut d8).zip(&mut s8) {
-        let v =
-            u64::from_le_bytes(d.try_into().unwrap()) ^ u64::from_le_bytes(s.try_into().unwrap());
+        let v = le_word(d) ^ le_word(s);
         d.copy_from_slice(&v.to_le_bytes());
     }
     for (d, s) in d8.into_remainder().iter_mut().zip(s8.remainder()) {
@@ -253,12 +263,12 @@ fn mul_acc_words(dst: &mut [u8], src: &[u8], row: &[u8; 256]) {
     let mut d8 = dst.chunks_exact_mut(8);
     let mut s8 = src.chunks_exact(8);
     for (d, s) in (&mut d8).zip(&mut s8) {
-        let sw = u64::from_le_bytes(s.try_into().unwrap());
+        let sw = le_word(s);
         let mut p = 0u64;
         for k in 0..8 {
             p |= (row[((sw >> (8 * k)) & 0xFF) as usize] as u64) << (8 * k);
         }
-        let v = u64::from_le_bytes(d.try_into().unwrap()) ^ p;
+        let v = le_word(d) ^ p;
         d.copy_from_slice(&v.to_le_bytes());
     }
     for (d, s) in d8.into_remainder().iter_mut().zip(s8.remainder()) {
@@ -271,7 +281,7 @@ fn mul_acc_words(dst: &mut [u8], src: &[u8], row: &[u8; 256]) {
 fn scale_words(dst: &mut [u8], row: &[u8; 256]) {
     let mut d8 = dst.chunks_exact_mut(8);
     for d in &mut d8 {
-        let sw = u64::from_le_bytes(d.try_into().unwrap());
+        let sw = le_word(d);
         let mut p = 0u64;
         for k in 0..8 {
             p |= (row[((sw >> (8 * k)) & 0xFF) as usize] as u64) << (8 * k);
@@ -333,6 +343,8 @@ mod x86 {
     #[target_feature(enable = "ssse3")]
     pub(super) unsafe fn mul_acc_ssse3(dst: &mut [u8], src: &[u8], c: Gf) {
         let t = mul_tables();
+        // SAFETY: unaligned loads/stores stay within `dst`/`src` because the
+        // loop bound n is their length rounded down to a whole 16-byte lane.
         unsafe {
             let lo = _mm_loadu_si128(t.lo[c.0 as usize].as_ptr() as *const __m128i);
             let hi = _mm_loadu_si128(t.hi[c.0 as usize].as_ptr() as *const __m128i);
@@ -357,6 +369,8 @@ mod x86 {
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn scale_avx2(dst: &mut [u8], c: Gf) {
         let t = mul_tables();
+        // SAFETY: unaligned loads/stores stay within `dst` because the loop
+        // bound n is its length rounded down to a whole 32-byte lane.
         unsafe {
             let lo = _mm256_broadcastsi128_si256(_mm_loadu_si128(
                 t.lo[c.0 as usize].as_ptr() as *const __m128i
@@ -385,6 +399,8 @@ mod x86 {
     #[target_feature(enable = "ssse3")]
     pub(super) unsafe fn scale_ssse3(dst: &mut [u8], c: Gf) {
         let t = mul_tables();
+        // SAFETY: unaligned loads/stores stay within `dst` because the loop
+        // bound n is its length rounded down to a whole 16-byte lane.
         unsafe {
             let lo = _mm_loadu_si128(t.lo[c.0 as usize].as_ptr() as *const __m128i);
             let hi = _mm_loadu_si128(t.hi[c.0 as usize].as_ptr() as *const __m128i);
@@ -418,6 +434,7 @@ pub fn scale_slice(dst: &mut [u8], c: Gf) {
     match simd_level() {
         // SAFETY: the feature was detected at runtime.
         SimdLevel::Avx2 => return unsafe { x86::scale_avx2(dst, c) },
+        // SAFETY: the feature was detected at runtime.
         SimdLevel::Ssse3 => return unsafe { x86::scale_ssse3(dst, c) },
         SimdLevel::None => {}
     }
@@ -440,6 +457,7 @@ pub fn mul_acc_slice(dst: &mut [u8], src: &[u8], c: Gf) {
     match simd_level() {
         // SAFETY: the feature was detected at runtime.
         SimdLevel::Avx2 => return unsafe { x86::mul_acc_avx2(dst, src, c) },
+        // SAFETY: the feature was detected at runtime.
         SimdLevel::Ssse3 => return unsafe { x86::mul_acc_ssse3(dst, src, c) },
         SimdLevel::None => {}
     }
@@ -573,7 +591,8 @@ impl Poly {
         let lead_inv = rhs.coeffs[d].inv();
         while !r.is_zero() && r.coeffs.len() > d {
             let shift = r.coeffs.len() - 1 - d;
-            let c = r.coeffs.last().copied().unwrap().mul(lead_inv);
+            let Some(&lead) = r.coeffs.last() else { break };
+            let c = lead.mul(lead_inv);
             for i in 0..=d {
                 let idx = shift + i;
                 r.coeffs[idx] = r.coeffs[idx].add(rhs.coeffs[i].mul(c));

@@ -120,8 +120,11 @@ pub(crate) fn load_block(data: &[u8], i: usize, width: BlockWidth) -> u64 {
     let bs = width.data_bytes();
     let start = i * bs;
     if start + 8 <= data.len() && bs == 8 {
-        // Full W64 block: one unaligned word load.
-        return u64::from_le_bytes(data[start..start + 8].try_into().unwrap());
+        // Full W64 block: one unaligned word load via a fixed-size copy the
+        // guard above makes infallible.
+        let mut w = [0u8; 8];
+        w.copy_from_slice(&data[start..start + 8]);
+        return u64::from_le_bytes(w);
     }
     let end = (start + bs).min(data.len());
     let mut v = 0u64;

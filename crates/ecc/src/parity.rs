@@ -39,7 +39,9 @@ impl Parity {
         let mut chunks = block.chunks_exact(8);
         let mut acc = 0u64;
         for c in &mut chunks {
-            acc ^= u64::from_le_bytes(c.try_into().unwrap());
+            let mut w = [0u8; 8];
+            w.copy_from_slice(c);
+            acc ^= u64::from_le_bytes(w);
         }
         let mut tail = 0u8;
         for &b in chunks.remainder() {
@@ -101,7 +103,9 @@ impl EccScheme for Parity {
             let in_word = (blocks - base).min(64);
             let mut acc = 0u64;
             for j in 0..in_word {
-                let block = chunks.next().expect("block count matches chunk count");
+                // Block count matches chunk count by construction; `else`
+                // ends the sweep instead of aborting.
+                let Some(block) = chunks.next() else { break };
                 acc |= (Self::block_parity(block) as u64) << j;
             }
             let byte = base / 8;

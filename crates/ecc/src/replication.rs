@@ -14,6 +14,16 @@
 use crate::codec::{Capability, CorrectionReport, EccError, EccScheme};
 use crate::crc::crc32;
 
+/// Little-endian u32 load from a `chunks_exact(4)` chunk; the clamped copy
+/// keeps it abort-free even on a short slice.
+#[inline]
+fn le_u32(c: &[u8]) -> u32 {
+    let mut w = [0u8; 4];
+    let n = c.len().min(4);
+    w[..n].copy_from_slice(&c[..n]);
+    u32::from_le_bytes(w)
+}
+
 /// Replication codec configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Replication {
@@ -91,8 +101,7 @@ impl EccScheme for Replication {
         }
         let (replicas, crc_table) = parity.split_at_mut((self.copies - 1) * n);
         // Majority-vote the stored CRC.
-        let crcs: Vec<u32> =
-            crc_table.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())).collect();
+        let crcs: Vec<u32> = crc_table.chunks_exact(4).map(le_u32).collect();
         let voted_crc = majority(&crcs);
         let mut report =
             CorrectionReport { blocks_checked: self.copies as u64, ..Default::default() };
@@ -134,8 +143,10 @@ impl EccScheme for Replication {
             for r in 0..self.copies - 1 {
                 bump(replicas[r * n + i], &mut counts);
             }
+            // `counts` always holds at least the primary's byte; the zero-vote
+            // fallback routes the impossible case to the uncorrectable branch.
             let (winner, votes) =
-                counts.iter().copied().max_by_key(|&(_, c)| c).expect("non-empty");
+                counts.iter().copied().max_by_key(|&(_, c)| c).unwrap_or((data[i], 0));
             if votes * 2 <= self.copies {
                 return Err(EccError::Uncorrectable {
                     scheme: "replication",
@@ -190,7 +201,7 @@ fn repair_side_data(
         }
     }
     for c in crc_table.chunks_exact_mut(4) {
-        let cur = u32::from_le_bytes(c.try_into().unwrap());
+        let cur = le_u32(c);
         if cur != voted_crc {
             c.copy_from_slice(&voted_crc.to_le_bytes());
             report.corrected_bits += 1;

@@ -74,7 +74,9 @@ impl ReedSolomon {
     /// `j * k + i` is `coeff(j, i)`.
     fn coeff_matrix(&self) -> Arc<[Gf]> {
         let cache = COEFF_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-        let mut map = cache.lock().unwrap();
+        // A poisoned lock only means another thread died mid-insert; the
+        // cache itself is a plain memo table, so recover the guard.
+        let mut map = cache.lock().unwrap_or_else(|p| p.into_inner());
         map.entry((self.k, self.m))
             .or_insert_with(|| {
                 let mut rows = Vec::with_capacity(self.m * self.k);
@@ -276,7 +278,13 @@ impl EccScheme for ReedSolomon {
         let d = self.device_size(data.len());
         let (parity_devs, crc_table) = parity.split_at_mut(self.m * d);
         let stored_crc = |idx: usize| {
-            u32::from_le_bytes(crc_table[idx * CRC_LEN..(idx + 1) * CRC_LEN].try_into().unwrap())
+            // Clamped copy: the parity-region length check above guarantees a
+            // full entry, and a short read decodes as zero instead of aborting.
+            let start = (idx * CRC_LEN).min(crc_table.len());
+            let end = (start + CRC_LEN).min(crc_table.len());
+            let mut w = [0u8; CRC_LEN];
+            w[..end - start].copy_from_slice(&crc_table[start..end]);
+            u32::from_le_bytes(w)
         };
         // Fast path: a full CRC sweep locates corrupt devices.
         let mut bad_data = Vec::new();

@@ -46,7 +46,9 @@ impl RsCodeword {
         let cache = GEN_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
         let generator = cache
             .lock()
-            .unwrap()
+            // Poison only means another thread died mid-insert; the memo
+            // table stays valid, so recover the guard.
+            .unwrap_or_else(|p| p.into_inner())
             .entry(nsym)
             .or_insert_with(|| {
                 // g(x) = ∏_{i=0}^{nsym-1} (x − α^i)

@@ -16,26 +16,43 @@ struct CountingAlloc;
 static ALLOCS: AtomicUsize = AtomicUsize::new(0);
 static BYTES: AtomicUsize = AtomicUsize::new(0);
 
+// SAFETY: a pure forwarding allocator — every method delegates to `System`
+// with unchanged arguments, so `System`'s allocation guarantees carry over;
+// the side counters are atomics with no effect on the returned memory.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: contract inherited from `GlobalAlloc::alloc`; discharged below
+    // by forwarding to `System`.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::SeqCst);
         BYTES.fetch_add(layout.size(), Ordering::SeqCst);
+        // SAFETY: same layout the caller passed, under the same contract.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: contract inherited from `GlobalAlloc::alloc_zeroed`; discharged
+    // below by forwarding to `System`.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::SeqCst);
         BYTES.fetch_add(layout.size(), Ordering::SeqCst);
+        // SAFETY: same layout the caller passed, under the same contract.
         unsafe { System.alloc_zeroed(layout) }
     }
 
+    // SAFETY: contract inherited from `GlobalAlloc::dealloc`; discharged
+    // below by forwarding to `System`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` was produced by `System` in `alloc`/`alloc_zeroed`/
+        // `realloc` above with this same layout.
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: contract inherited from `GlobalAlloc::realloc`; discharged
+    // below by forwarding to `System`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::SeqCst);
         BYTES.fetch_add(new_size, Ordering::SeqCst);
+        // SAFETY: `ptr`/`layout` come from a prior `System` allocation and
+        // `new_size` is forwarded unchanged.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

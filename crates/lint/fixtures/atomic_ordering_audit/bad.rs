@@ -1,0 +1,13 @@
+// Fixture: unexplained `Ordering::Relaxed` must be flagged.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub static HITS: AtomicU64 = AtomicU64::new(0);
+
+pub fn bump() {
+    HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn read() -> u64 {
+    HITS.load(Ordering::Relaxed)
+}

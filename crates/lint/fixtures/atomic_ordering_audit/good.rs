@@ -1,0 +1,14 @@
+// Fixture: justified relaxed orderings and stronger orderings.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub static HITS: AtomicU64 = AtomicU64::new(0);
+
+pub fn bump() {
+    // relaxed: advisory counter, nothing synchronizes on it.
+    HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn read() -> u64 {
+    HITS.load(Ordering::SeqCst)
+}

@@ -1,0 +1,9 @@
+// Fixture: ad-hoc telemetry cfg gates outside the facade must be flagged.
+
+#[cfg(feature = "telemetry")]
+pub fn emit() {}
+
+pub fn hot_path() {
+    #[cfg(feature = "telemetry")]
+    emit();
+}

@@ -1,0 +1,9 @@
+// Fixture: other feature gates are fine, and the telemetry gate named in a
+// string literal is data, not a cfg.
+
+#[cfg(feature = "simd")]
+pub fn fast_path() {}
+
+pub fn docs() -> &'static str {
+    "enable with --features telemetry, i.e. feature = \"telemetry\""
+}

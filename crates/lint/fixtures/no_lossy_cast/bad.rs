@@ -1,0 +1,9 @@
+// Fixture: narrowing `as` casts must be flagged.
+
+pub fn shrink(x: u64) -> u8 {
+    x as u8
+}
+
+pub fn reinterpret(x: u64) -> i32 {
+    (x >> 3) as i32
+}

@@ -1,0 +1,22 @@
+// Fixture: widening casts, checked conversions, and exempt regions.
+
+pub fn widen(x: u8) -> u64 {
+    x as u64
+}
+
+pub fn checked(x: u64) -> Option<u8> {
+    u8::try_from(x).ok()
+}
+
+pub fn to_float(x: u64) -> f64 {
+    x as f64
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn narrowing_is_fine_in_tests() {
+        let x = 300u64;
+        assert_eq!(x as u8, 44);
+    }
+}

@@ -1,0 +1,20 @@
+// Fixture: abort paths in library code must be flagged.
+
+pub fn first(v: &[u8]) -> u8 {
+    v.first().copied().unwrap()
+}
+
+pub fn second(v: &[u8]) -> u8 {
+    v.get(1).copied().expect("at least two bytes")
+}
+
+pub fn route(x: u32) -> u32 {
+    match x {
+        0 => 1,
+        _ => unreachable!(),
+    }
+}
+
+pub fn later() {
+    todo!()
+}

@@ -1,0 +1,34 @@
+// Fixture: non-aborting idioms and exempt regions the rule must accept.
+
+#[derive(Debug)]
+pub struct DecodeError;
+
+pub fn first(v: &[u8]) -> Result<u8, DecodeError> {
+    v.first().copied().ok_or(DecodeError)
+}
+
+pub fn first_or_zero(v: &[u8]) -> u8 {
+    v.first().copied().unwrap_or(0)
+}
+
+pub fn first_or_default(v: &[u8]) -> u8 {
+    v.first().copied().unwrap_or_default()
+}
+
+pub fn mentions_unwrap_in_a_string() -> &'static str {
+    "calling .unwrap() here would panic!()"
+}
+
+pub fn waived(v: &[u8]) -> u8 {
+    // arc-lint: allow(no-panic-in-lib, fixture exercising the waiver path)
+    v.first().copied().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v = [1u8];
+        assert_eq!(v.first().copied().unwrap(), 1);
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: `unsafe` without a SAFETY justification must be flagged.
+
+pub fn first_byte(v: &[u8]) -> u8 {
+    unsafe { *v.as_ptr() }
+}
+
+pub unsafe fn raw_read(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -1,0 +1,20 @@
+// Fixture: every justified `unsafe` form the rule must accept.
+
+pub fn first_byte(v: &[u8]) -> u8 {
+    assert!(!v.is_empty());
+    // SAFETY: the assert above guarantees at least one element.
+    unsafe { *v.as_ptr() }
+}
+
+/// Reads one byte from a raw pointer.
+///
+/// # Safety
+/// `p` must be valid for reads.
+pub unsafe fn raw_read(p: *const u8) -> u8 {
+    // SAFETY: contract forwarded from this function's own `# Safety` doc.
+    unsafe { *p }
+}
+
+pub fn mentions_unsafe_in_a_string() -> &'static str {
+    "unsafe { this is data, not code }"
+}

@@ -1,0 +1,234 @@
+//! The ratcheted debt baseline.
+//!
+//! `lint-baseline.json` records, per rule and per file, how many violations
+//! existed when the rule landed. The gate fails when any (rule, file) count
+//! *exceeds* its baseline — new debt is forbidden — while counts below the
+//! baseline are reported as stale entries so the file can only ever shrink
+//! (`--strict-baseline` turns stale entries into failures too, which is how
+//! CI stops the baseline from being quietly inflated).
+//!
+//! The format is a two-level JSON object with integer leaves:
+//!
+//! ```json
+//! { "no-lossy-cast": { "crates/ecc/src/gf256.rs": 12 } }
+//! ```
+//!
+//! Keys are emitted in sorted order with fixed indentation, so regenerating
+//! the file on any machine produces byte-identical output.
+
+use std::collections::BTreeMap;
+
+use crate::json::{escape, Parser};
+use crate::rules::Finding;
+
+/// Violation counts per rule, per file. `BTreeMap` everywhere: iteration
+/// order — and therefore serialized output — is deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// rule key → (file path → violation count).
+    pub counts: BTreeMap<String, BTreeMap<String, u64>>,
+}
+
+/// One (rule, file) pair where the actual count differs from the baseline.
+#[derive(Debug, Clone)]
+pub struct RatchetEntry {
+    /// Rule key.
+    pub rule: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// Violations found in this run.
+    pub actual: u64,
+    /// Violations the baseline allows.
+    pub allowed: u64,
+}
+
+/// Result of comparing a run against the committed baseline.
+#[derive(Debug, Clone, Default)]
+pub struct Ratchet {
+    /// Pairs with more violations than the baseline allows — these fail.
+    pub new: Vec<RatchetEntry>,
+    /// Pairs with fewer violations than recorded — the baseline should be
+    /// regenerated to lock in the improvement.
+    pub stale: Vec<RatchetEntry>,
+}
+
+impl Baseline {
+    /// Aggregate findings into per-(rule, file) counts.
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        let mut counts: BTreeMap<String, BTreeMap<String, u64>> = BTreeMap::new();
+        for f in findings {
+            *counts.entry(f.rule.to_string()).or_default().entry(f.file.clone()).or_default() += 1;
+        }
+        Baseline { counts }
+    }
+
+    /// Total recorded violations.
+    pub fn total(&self) -> u64 {
+        self.counts.values().flat_map(|m| m.values()).sum()
+    }
+
+    /// Allowed count for a (rule, file) pair; zero when absent.
+    pub fn allowed(&self, rule: &str, file: &str) -> u64 {
+        self.counts.get(rule).and_then(|m| m.get(file)).copied().unwrap_or(0)
+    }
+
+    /// Serialize with sorted keys and fixed layout (byte-stable).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let mut first_rule = true;
+        for (rule, files) in &self.counts {
+            if files.is_empty() {
+                continue;
+            }
+            if !first_rule {
+                out.push_str(",\n");
+            }
+            first_rule = false;
+            out.push_str(&format!("  \"{}\": {{\n", escape(rule)));
+            let mut first_file = true;
+            for (file, count) in files {
+                if !first_file {
+                    out.push_str(",\n");
+                }
+                first_file = false;
+                out.push_str(&format!("    \"{}\": {count}", escape(file)));
+            }
+            out.push_str("\n  }");
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Parse the two-level baseline format. Unknown value shapes are errors:
+    /// the gate refuses to run against a baseline it cannot fully interpret.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut p = Parser::new(text);
+        let mut counts: BTreeMap<String, BTreeMap<String, u64>> = BTreeMap::new();
+        p.consume('{')?;
+        if !p.peek_is('}') {
+            loop {
+                let rule = p.string()?;
+                p.consume(':')?;
+                p.consume('{')?;
+                let files = counts.entry(rule).or_default();
+                if !p.peek_is('}') {
+                    loop {
+                        let file = p.string()?;
+                        p.consume(':')?;
+                        let count = p.integer()?;
+                        files.insert(file, count);
+                        if !p.comma_or_close('}')? {
+                            break;
+                        }
+                    }
+                }
+                p.consume('}')?;
+                if !p.comma_or_close('}')? {
+                    break;
+                }
+            }
+        }
+        p.consume('}')?;
+        p.expect_end()?;
+        Ok(Baseline { counts })
+    }
+
+    /// Compare actual counts against this baseline's allowances.
+    pub fn ratchet(&self, actual: &Baseline) -> Ratchet {
+        let mut r = Ratchet::default();
+        // Every (rule, file) present in either map is examined once; the
+        // union keeps entries deterministic (BTreeMap order on both sides).
+        let mut pairs: BTreeMap<(String, String), (u64, u64)> = BTreeMap::new();
+        for (rule, files) in &actual.counts {
+            for (file, n) in files {
+                pairs.insert((rule.clone(), file.clone()), (*n, self.allowed(rule, file)));
+            }
+        }
+        for (rule, files) in &self.counts {
+            for (file, allowed) in files {
+                pairs
+                    .entry((rule.clone(), file.clone()))
+                    .or_insert((actual.allowed(rule, file), *allowed));
+            }
+        }
+        for ((rule, file), (n, allowed)) in pairs {
+            if n > allowed {
+                r.new.push(RatchetEntry { rule, file, actual: n, allowed });
+            } else if n < allowed {
+                r.stale.push(RatchetEntry { rule, file, actual: n, allowed });
+            }
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Severity;
+
+    fn f(rule: &'static str, file: &str) -> Finding {
+        Finding {
+            rule,
+            severity: Severity::Error,
+            file: file.into(),
+            line: 1,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_stable() {
+        let b = Baseline::from_findings(&[
+            f("no-panic-in-lib", "crates/sz/src/lib.rs"),
+            f("no-panic-in-lib", "crates/sz/src/lib.rs"),
+            f("no-lossy-cast", "crates/ecc/src/gf256.rs"),
+        ]);
+        let j1 = b.to_json();
+        let parsed = Baseline::parse(&j1).unwrap();
+        assert_eq!(parsed, b);
+        assert_eq!(parsed.to_json(), j1, "serialization must be byte-stable");
+        assert_eq!(b.allowed("no-panic-in-lib", "crates/sz/src/lib.rs"), 2);
+    }
+
+    #[test]
+    fn sorted_key_order_is_independent_of_insertion_order() {
+        let a = Baseline::from_findings(&[f("z-rule", "b.rs"), f("a-rule", "a.rs")]);
+        let b = Baseline::from_findings(&[f("a-rule", "a.rs"), f("z-rule", "b.rs")]);
+        assert_eq!(a.to_json(), b.to_json());
+        let json = a.to_json();
+        assert!(json.find("a-rule").unwrap() < json.find("z-rule").unwrap());
+    }
+
+    #[test]
+    fn ratchet_classifies_new_and_stale() {
+        let allowed = Baseline::parse("{\"r\": {\"a.rs\": 2, \"gone.rs\": 1}}").unwrap();
+        let actual = Baseline::from_findings(&[
+            f("r", "a.rs"),
+            f("r", "a.rs"),
+            f("r", "a.rs"),
+            f("r", "b.rs"),
+        ]);
+        let r = allowed.ratchet(&actual);
+        let new: Vec<_> = r.new.iter().map(|e| e.file.as_str()).collect();
+        let stale: Vec<_> = r.stale.iter().map(|e| e.file.as_str()).collect();
+        assert_eq!(new, vec!["a.rs", "b.rs"]);
+        assert_eq!(stale, vec!["gone.rs"]);
+    }
+
+    #[test]
+    fn empty_baseline_serializes_and_parses() {
+        let b = Baseline::default();
+        assert_eq!(b.to_json(), "{\n\n}\n");
+        assert_eq!(Baseline::parse(&b.to_json()).unwrap(), b);
+        assert_eq!(Baseline::parse("{}").unwrap(), b);
+    }
+
+    #[test]
+    fn malformed_baseline_is_an_error_not_a_panic() {
+        assert!(Baseline::parse("").is_err());
+        assert!(Baseline::parse("{\"r\": 3}").is_err());
+        assert!(Baseline::parse("{\"r\": {\"f\": \"x\"}}").is_err());
+        assert!(Baseline::parse("{\"r\": {\"f\": 1}} trailing").is_err());
+    }
+}

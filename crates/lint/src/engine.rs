@@ -1,0 +1,133 @@
+//! The driver: deterministic workspace walk, rule dispatch, suppression
+//! filtering.
+//!
+//! Directory entries are sorted by name at every level and findings are
+//! sorted by (file, line, rule), so two runs over the same tree — on any
+//! machine — produce identical output and identical baselines.
+
+use std::path::{Path, PathBuf};
+
+use crate::context::FileCtx;
+use crate::rules::{default_rules, Finding, Rule, Severity};
+
+/// Directory names never descended into. `fixtures` holds the lint crate's
+/// own corpus of *intentional* violations; `vendor` is third-party shim
+/// code; the rest is build/VCS output.
+const SKIP_DIRS: [&str; 5] = ["target", "vendor", ".git", "fixtures", "results"];
+
+/// Pseudo-rule key reported when a file cannot be lexed. It participates in
+/// the baseline like any other rule (an unparseable file is debt too).
+pub const LEX_ERROR_RULE: &str = "lex-error";
+
+/// Engine configuration.
+pub struct Options {
+    /// Apply each rule's path scope (`Rule::applies`). Fixture tests turn
+    /// this off to point a single rule at an arbitrary directory.
+    pub respect_filters: bool,
+    /// Run only the rule with this key.
+    pub only_rule: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options { respect_filters: true, only_rule: None }
+    }
+}
+
+/// Outcome of one engine run.
+pub struct RunResult {
+    /// Unsuppressed findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Findings silenced by `arc-lint: allow` comments (kept for reporting).
+    pub suppressed: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+/// Recursively collect `.rs` files under `root` in sorted order.
+pub fn collect_files(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    walk(root, &mut out)?;
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let rd = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read directory {}: {e}", dir.display()))?;
+    let mut entries: Vec<PathBuf> = Vec::new();
+    for entry in rd {
+        let entry = entry.map_err(|e| format!("walk error under {}: {e}", dir.display()))?;
+        entries.push(entry.path());
+    }
+    // Sort by file name at each level: the whole traversal — and therefore
+    // every downstream report and baseline — is machine-independent.
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name) {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative path with forward slashes.
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components().map(|c| c.as_os_str().to_string_lossy()).collect::<Vec<_>>().join("/")
+}
+
+/// Run the default rule set over every `.rs` file under `root`.
+pub fn run(root: &Path, opts: &Options) -> Result<RunResult, String> {
+    let rules = default_rules();
+    let selected: Vec<&dyn Rule> = rules
+        .iter()
+        .filter(|r| opts.only_rule.as_deref().is_none_or(|k| k == r.key()))
+        .map(|r| r.as_ref())
+        .collect();
+    let files = collect_files(root)?;
+    let mut findings = Vec::new();
+    let mut suppressed = Vec::new();
+    let mut files_scanned = 0usize;
+    for path in &files {
+        let rel = rel_path(root, path);
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        files_scanned += 1;
+        let ctx = match FileCtx::build(rel.clone(), &text) {
+            Ok(ctx) => ctx,
+            Err(e) => {
+                findings.push(Finding {
+                    rule: LEX_ERROR_RULE,
+                    severity: Severity::Error,
+                    file: rel,
+                    line: e.line,
+                    message: e.message,
+                });
+                continue;
+            }
+        };
+        let mut file_findings = Vec::new();
+        for rule in &selected {
+            if opts.respect_filters && !rule.applies(&ctx.rel) {
+                continue;
+            }
+            rule.check(&ctx, &mut file_findings);
+        }
+        for f in file_findings {
+            if ctx.is_suppressed(f.rule, f.line) {
+                suppressed.push(f);
+            } else {
+                findings.push(f);
+            }
+        }
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    suppressed.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(RunResult { findings, suppressed, files_scanned })
+}

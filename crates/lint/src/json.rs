@@ -1,0 +1,160 @@
+//! Minimal JSON helpers: string escaping for output and a small pull parser
+//! for the baseline format. Hand-rolled because the build environment has no
+//! route to crates.io and the lint gate must stay dependency-free.
+
+/// Escape a string for embedding in a JSON double-quoted literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A pull parser over JSON text, exposing only what the baseline format
+/// needs: objects, strings, and unsigned integers. Every method returns
+/// `Result` — malformed input is a reported error, never a panic.
+pub struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    /// Start parsing `text`.
+    pub fn new(text: &str) -> Parser {
+        Parser { chars: text.chars().collect(), pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.chars.get(self.pos).is_some_and(|c| c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    /// Consume the expected punctuation character.
+    pub fn consume(&mut self, c: char) -> Result<(), String> {
+        self.skip_ws();
+        match self.chars.get(self.pos) {
+            Some(&got) if got == c => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(&got) => Err(format!("expected '{c}', found '{got}' at offset {}", self.pos)),
+            None => Err(format!("expected '{c}', found end of input")),
+        }
+    }
+
+    /// True when the next non-whitespace char is `c` (not consumed).
+    pub fn peek_is(&mut self, c: char) -> bool {
+        self.skip_ws();
+        self.chars.get(self.pos) == Some(&c)
+    }
+
+    /// After a value: consume `,` and return true, or — if the next char is
+    /// `close` — return false leaving it unconsumed.
+    pub fn comma_or_close(&mut self, close: char) -> Result<bool, String> {
+        self.skip_ws();
+        match self.chars.get(self.pos) {
+            Some(',') => {
+                self.pos += 1;
+                Ok(true)
+            }
+            Some(&c) if c == close => Ok(false),
+            Some(&c) => Err(format!("expected ',' or '{close}', found '{c}'")),
+            None => Err(format!("expected ',' or '{close}', found end of input")),
+        }
+    }
+
+    /// Parse a double-quoted string with standard escapes.
+    pub fn string(&mut self) -> Result<String, String> {
+        self.consume('"')?;
+        let mut out = String::new();
+        loop {
+            match self.chars.get(self.pos).copied() {
+                Some('"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some('\\') => {
+                    self.pos += 1;
+                    match self.chars.get(self.pos).copied() {
+                        Some('n') => out.push('\n'),
+                        Some('r') => out.push('\r'),
+                        Some('t') => out.push('\t'),
+                        Some('u') => {
+                            let hex: String =
+                                self.chars.iter().skip(self.pos + 1).take(4).collect();
+                            let code = u32::from_str_radix(&hex, 16)
+                                .map_err(|_| format!("bad \\u escape '{hex}'"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            self.pos += 4;
+                        }
+                        Some(c) => out.push(c),
+                        None => return Err("unterminated escape in string".into()),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) => {
+                    out.push(c);
+                    self.pos += 1;
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    /// Parse an unsigned integer.
+    pub fn integer(&mut self) -> Result<u64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.chars.get(self.pos).is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(format!("expected integer at offset {start}"));
+        }
+        let digits: String = self.chars[start..self.pos].iter().collect();
+        digits.parse::<u64>().map_err(|e| format!("bad integer '{digits}': {e}"))
+    }
+
+    /// Require that only whitespace remains.
+    pub fn expect_end(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        if self.pos == self.chars.len() {
+            Ok(())
+        } else {
+            Err(format!("trailing data at offset {}", self.pos))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_covers_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn string_unescapes() {
+        let mut p = Parser::new("\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(p.string().unwrap(), "a\"b\\c\nd");
+    }
+
+    #[test]
+    fn integer_bounds() {
+        assert_eq!(Parser::new("42").integer().unwrap(), 42);
+        assert!(Parser::new("x").integer().is_err());
+    }
+}

@@ -1,0 +1,30 @@
+//! `arc-lint` — a zero-dependency workspace lint engine enforcing ARC's
+//! resiliency invariants.
+//!
+//! ARC's value proposition is that the *protection layer itself* never
+//! corrupts or aborts on the data it was asked to protect. That discipline
+//! has to be machine-checked, not conventional: this crate walks every
+//! `.rs` file in the workspace with a hand-rolled Rust lexer and enforces
+//! five invariants (see [`rules`]):
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `unsafe-needs-safety`    | every `unsafe` site carries a `// SAFETY:` proof |
+//! | `no-panic-in-lib`        | no `.unwrap()`/`panic!`-family aborts in library code |
+//! | `no-lossy-cast`          | no narrowing `as` casts in the ecc/zfp hot paths |
+//! | `atomic-ordering-audit`  | `Ordering::Relaxed` in telemetry is justified in-line |
+//! | `feature-gate-hygiene`   | telemetry is gated through the facade, never ad-hoc cfg |
+//!
+//! Pre-existing debt lives in a committed, ratcheted `lint-baseline.json`
+//! ([`baseline`]): new violations fail the gate, and the baseline may only
+//! shrink. Individual sites can be waived in place with
+//! `// arc-lint: allow(<rule>, <reason>)`.
+//!
+//! See DESIGN.md §10 for the rule catalogue and policy.
+
+pub mod baseline;
+pub mod context;
+pub mod engine;
+pub mod json;
+pub mod lexer;
+pub mod rules;

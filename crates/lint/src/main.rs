@@ -1,0 +1,265 @@
+//! `arc-lint` CLI — the workspace lint gate.
+//!
+//! ```text
+//! cargo run -p arc-lint -- [--deny] [--strict-baseline] [--format json]
+//!                          [--root DIR] [--baseline PATH] [--no-baseline]
+//!                          [--rule KEY] [--write-baseline] [--list-rules]
+//! ```
+//!
+//! Exit status: 0 when the workspace is clean relative to the baseline;
+//! 1 under `--deny` when new violations exist (or, with `--strict-baseline`,
+//! when the committed baseline is stale and should be shrunk); 2 on usage
+//! or I/O errors. Without `--deny` the run is informational and exits 0.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use arc_lint::baseline::Baseline;
+use arc_lint::engine::{run, Options};
+use arc_lint::json::escape;
+use arc_lint::rules::{default_rules, Finding};
+
+struct Cli {
+    root: Option<PathBuf>,
+    format_json: bool,
+    deny: bool,
+    strict_baseline: bool,
+    baseline_path: Option<PathBuf>,
+    no_baseline: bool,
+    write_baseline: bool,
+    rule: Option<String>,
+    list_rules: bool,
+}
+
+fn parse_cli(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        root: None,
+        format_json: false,
+        deny: false,
+        strict_baseline: false,
+        baseline_path: None,
+        no_baseline: false,
+        write_baseline: false,
+        rule: None,
+        list_rules: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--root" => cli.root = Some(PathBuf::from(take("--root")?)),
+            "--baseline" => cli.baseline_path = Some(PathBuf::from(take("--baseline")?)),
+            "--rule" => cli.rule = Some(take("--rule")?),
+            "--format" => {
+                let v = take("--format")?;
+                match v.as_str() {
+                    "json" => cli.format_json = true,
+                    "text" => cli.format_json = false,
+                    other => return Err(format!("unknown format '{other}' (text|json)")),
+                }
+            }
+            "--deny" => cli.deny = true,
+            "--strict-baseline" => cli.strict_baseline = true,
+            "--no-baseline" => cli.no_baseline = true,
+            "--write-baseline" => cli.write_baseline = true,
+            "--list-rules" => cli.list_rules = true,
+            "--help" | "-h" => {
+                return Err("usage: arc-lint [--deny] [--strict-baseline] [--format text|json] \
+                            [--root DIR] [--baseline PATH] [--no-baseline] [--rule KEY] \
+                            [--write-baseline] [--list-rules]"
+                    .into())
+            }
+            other => return Err(format!("unknown argument '{other}' (try --help)")),
+        }
+    }
+    Ok(cli)
+}
+
+/// Find the workspace root: the nearest ancestor of the current directory
+/// whose `Cargo.toml` declares `[workspace]`.
+fn find_workspace_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| format!("cannot get cwd: {e}"))?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err("no workspace root found above the current directory \
+                        (pass --root explicitly)"
+                .into());
+        }
+    }
+}
+
+fn print_text_report(
+    new_pairs: &BTreeMap<(String, String), (u64, u64)>,
+    findings: &[Finding],
+    suppressed: usize,
+    stale: &[arc_lint::baseline::RatchetEntry],
+    files_scanned: usize,
+) {
+    let mut new_count = 0u64;
+    for f in findings {
+        if let Some((actual, allowed)) = new_pairs.get(&(f.rule.to_string(), f.file.clone())) {
+            println!(
+                "{}:{}: [{}] {}: {} ({actual} found, baseline allows {allowed})",
+                f.file,
+                f.line,
+                f.severity.label(),
+                f.rule,
+                f.message
+            );
+            new_count += 1;
+        }
+    }
+    for e in stale {
+        println!(
+            "lint-baseline.json: stale entry {} / {} (allows {}, found {}) — \
+             run scripts/lint_baseline.sh to shrink it",
+            e.rule, e.file, e.allowed, e.actual
+        );
+    }
+    let baselined = findings.len() as u64 - new_count;
+    println!(
+        "arc-lint: {} file(s), {} finding(s): {} new, {} baselined, {} suppressed, \
+         {} stale baseline entr(ies)",
+        files_scanned,
+        findings.len(),
+        new_count,
+        baselined,
+        suppressed,
+        stale.len()
+    );
+}
+
+fn print_json_report(
+    new_pairs: &BTreeMap<(String, String), (u64, u64)>,
+    findings: &[Finding],
+    suppressed: usize,
+    stale: &[arc_lint::baseline::RatchetEntry],
+    files_scanned: usize,
+) {
+    // Hand-rolled with fixed key order: output is byte-stable across runs.
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
+    out.push_str("  \"findings\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        let is_new = new_pairs.contains_key(&(f.rule.to_string(), f.file.clone()));
+        out.push_str(&format!(
+            "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"severity\": \"{}\", \
+             \"message\": \"{}\", \"new\": {}}}{}\n",
+            escape(&f.file),
+            f.line,
+            escape(f.rule),
+            f.severity.label(),
+            escape(&f.message),
+            is_new,
+            if i + 1 < findings.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"stale_baseline_entries\": [\n");
+    for (i, e) in stale.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"file\": \"{}\", \"allowed\": {}, \"actual\": {}}}{}\n",
+            escape(&e.rule),
+            escape(&e.file),
+            e.allowed,
+            e.actual,
+            if i + 1 < stale.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"suppressed\": {suppressed}\n"));
+    out.push_str("}\n");
+    print!("{out}");
+}
+
+fn real_main() -> Result<ExitCode, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = parse_cli(&args)?;
+
+    if cli.list_rules {
+        for r in default_rules() {
+            println!("{:<24} [{}] {}", r.key(), r.severity().label(), r.describe());
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let root = match &cli.root {
+        Some(r) => r.clone(),
+        None => find_workspace_root()?,
+    };
+    let opts = Options { respect_filters: true, only_rule: cli.rule.clone() };
+    let result = run(&root, &opts)?;
+    let actual = Baseline::from_findings(&result.findings);
+
+    let baseline_path =
+        cli.baseline_path.clone().unwrap_or_else(|| root.join("lint-baseline.json"));
+
+    if cli.write_baseline {
+        std::fs::write(&baseline_path, actual.to_json())
+            .map_err(|e| format!("cannot write {}: {e}", baseline_path.display()))?;
+        println!(
+            "arc-lint: wrote {} ({} entr(ies), {} violation(s))",
+            baseline_path.display(),
+            actual.counts.values().map(|m| m.len()).sum::<usize>(),
+            actual.total()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let allowed = if cli.no_baseline {
+        Baseline::default()
+    } else {
+        match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => Baseline::parse(&text)
+                .map_err(|e| format!("malformed {}: {e}", baseline_path.display()))?,
+            Err(_) => Baseline::default(),
+        }
+    };
+    let ratchet = allowed.ratchet(&actual);
+    let new_pairs: BTreeMap<(String, String), (u64, u64)> = ratchet
+        .new
+        .iter()
+        .map(|e| ((e.rule.clone(), e.file.clone()), (e.actual, e.allowed)))
+        .collect();
+
+    if cli.format_json {
+        print_json_report(
+            &new_pairs,
+            &result.findings,
+            result.suppressed.len(),
+            &ratchet.stale,
+            result.files_scanned,
+        );
+    } else {
+        print_text_report(
+            &new_pairs,
+            &result.findings,
+            result.suppressed.len(),
+            &ratchet.stale,
+            result.files_scanned,
+        );
+    }
+
+    let fail =
+        cli.deny && (!ratchet.new.is_empty() || (cli.strict_baseline && !ratchet.stale.is_empty()));
+    Ok(if fail { ExitCode::FAILURE } else { ExitCode::SUCCESS })
+}
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("arc-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Integration tests: the fixture corpus (one flagged and one clean file per
+//! rule), the workspace self-lint against the committed baseline, the
+//! baseline ratchet on a scratch tree, and output determinism.
+
+use std::path::{Path, PathBuf};
+
+use arc_lint::baseline::Baseline;
+use arc_lint::engine::{run, Options};
+use arc_lint::rules::default_rules;
+
+fn crate_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn workspace_root() -> PathBuf {
+    crate_dir().join("../..").canonicalize().expect("workspace root resolves")
+}
+
+/// Run a single rule over one fixture directory, path filters off.
+fn run_rule(rule: &str, dir: &Path) -> arc_lint::engine::RunResult {
+    let opts = Options { respect_filters: false, only_rule: Some(rule.to_string()) };
+    run(dir, &opts).expect("fixture run succeeds")
+}
+
+#[test]
+fn every_rule_flags_its_bad_fixture_and_passes_its_good_one() {
+    for rule in default_rules() {
+        let key = rule.key();
+        let dir = crate_dir().join("fixtures").join(key.replace('-', "_"));
+        assert!(dir.is_dir(), "missing fixture directory for rule {key}");
+
+        let result = run_rule(key, &dir);
+        let bad: Vec<_> = result.findings.iter().filter(|f| f.file == "bad.rs").collect();
+        let good: Vec<_> = result.findings.iter().filter(|f| f.file == "good.rs").collect();
+        assert!(!bad.is_empty(), "rule {key} failed to flag fixtures/{key}/bad.rs");
+        assert!(
+            good.is_empty(),
+            "rule {key} false-positived on fixtures/{key}/good.rs: {:?}",
+            good.iter().map(|f| f.line).collect::<Vec<_>>()
+        );
+        for f in &result.findings {
+            assert_eq!(f.rule, key, "only the selected rule may fire");
+        }
+    }
+}
+
+#[test]
+fn suppression_comments_waive_findings_but_stay_reported() {
+    let dir = crate_dir().join("fixtures/no_panic_in_lib");
+    let result = run_rule("no-panic-in-lib", &dir);
+    let waived: Vec<_> = result.suppressed.iter().filter(|f| f.file == "good.rs").collect();
+    assert_eq!(waived.len(), 1, "the allow() comment in good.rs waives exactly one site");
+}
+
+#[test]
+fn workspace_self_lint_is_clean_against_committed_baseline() {
+    let root = workspace_root();
+    let result = run(&root, &Options::default()).expect("workspace run succeeds");
+    let actual = Baseline::from_findings(&result.findings);
+    let committed = std::fs::read_to_string(root.join("lint-baseline.json"))
+        .expect("lint-baseline.json is committed at the workspace root");
+    let allowed = Baseline::parse(&committed).expect("committed baseline parses");
+    let ratchet = allowed.ratchet(&actual);
+    assert!(
+        ratchet.new.is_empty(),
+        "new lint violations beyond the committed baseline: {:?}",
+        ratchet
+            .new
+            .iter()
+            .map(|e| format!("{} {} ({} > {})", e.rule, e.file, e.actual, e.allowed))
+            .collect::<Vec<_>>()
+    );
+    assert!(
+        ratchet.stale.is_empty(),
+        "stale baseline entries (run scripts/lint_baseline.sh to shrink): {:?}",
+        ratchet
+            .stale
+            .iter()
+            .map(|e| format!("{} {} ({} < {})", e.rule, e.file, e.actual, e.allowed))
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn ecc_and_lint_hold_the_hardened_invariants_with_no_baseline_debt() {
+    let root = workspace_root();
+    let result = run(&root, &Options::default()).expect("workspace run succeeds");
+    for f in &result.findings {
+        assert!(
+            !(f.rule == "unsafe-needs-safety"),
+            "unjustified unsafe must stay at zero workspace-wide: {}:{}",
+            f.file,
+            f.line
+        );
+        assert!(
+            !(f.rule == "no-panic-in-lib" && f.file.starts_with("crates/ecc/")),
+            "ecc library paths must stay abort-free: {}:{}",
+            f.file,
+            f.line
+        );
+        assert!(
+            !f.file.starts_with("crates/lint/"),
+            "the linter must lint itself clean: {} {}:{}",
+            f.rule,
+            f.file,
+            f.line
+        );
+    }
+}
+
+#[test]
+fn baseline_ratchet_on_a_scratch_tree() {
+    let scratch = std::env::temp_dir().join(format!("arc-lint-ratchet-{}", std::process::id()));
+    let src = scratch.join("src");
+    std::fs::create_dir_all(&src).expect("scratch dir");
+    std::fs::write(src.join("a.rs"), "pub fn f(v: &[u8]) -> u8 { v.first().copied().unwrap() }\n")
+        .expect("write fixture");
+
+    let opts = Options { respect_filters: false, only_rule: Some("no-panic-in-lib".into()) };
+    let result = run(&scratch, &opts).expect("scratch run succeeds");
+    let actual = Baseline::from_findings(&result.findings);
+    assert_eq!(actual.total(), 1);
+
+    // Honest baseline: clean ratchet.
+    let clean = actual.clone().ratchet(&actual);
+    assert!(clean.new.is_empty() && clean.stale.is_empty());
+
+    // New debt beyond the baseline fails.
+    let empty = Baseline::default();
+    let grown = empty.ratchet(&actual);
+    assert_eq!(grown.new.len(), 1);
+
+    // Paying debt down makes the old baseline stale — it may only shrink.
+    let paid = actual.ratchet(&Baseline::default());
+    assert_eq!(paid.stale.len(), 1);
+
+    std::fs::remove_dir_all(&scratch).ok();
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let root = workspace_root();
+    let a = run(&root, &Options::default()).expect("first run succeeds");
+    let b = run(&root, &Options::default()).expect("second run succeeds");
+    let key = |r: &arc_lint::engine::RunResult| {
+        r.findings.iter().map(|f| (f.file.clone(), f.line, f.rule)).collect::<Vec<_>>()
+    };
+    assert_eq!(key(&a), key(&b));
+    assert_eq!(a.files_scanned, b.files_scanned);
+    assert_eq!(
+        Baseline::from_findings(&a.findings).to_json(),
+        Baseline::from_findings(&b.findings).to_json(),
+        "baseline serialization must be byte-identical across runs"
+    );
+    // Findings arrive sorted.
+    let k = key(&a);
+    let mut sorted = k.clone();
+    sorted.sort();
+    assert_eq!(k, sorted);
+}

@@ -418,6 +418,7 @@ mod imp {
 
     fn record_span(path: &str, count: u64, ns: u64) {
         let stat = stat_for(&registry().spans, path);
+        // relaxed: independent monotonic counters; nothing synchronizes on them.
         stat.count.fetch_add(count, Ordering::Relaxed);
         stat.total_ns.fetch_add(ns, Ordering::Relaxed);
     }
@@ -426,6 +427,7 @@ mod imp {
     #[inline]
     pub fn counter_add(name: &'static str, delta: u64) {
         let stat = stat_for(&registry().counters, name);
+        // relaxed: monotonic counter; readers tolerate any interleaving.
         stat.fetch_add(delta, Ordering::Relaxed);
     }
 
@@ -433,9 +435,12 @@ mod imp {
     #[inline]
     pub fn histogram_record(name: &'static str, value: u64) {
         let stat = stat_for(&registry().histograms, name);
+        // relaxed: count/sum/bucket cells are independent; a snapshot racing
+        // this update may be off by one entry, which reporting tolerates.
         stat.count.fetch_add(1, Ordering::Relaxed);
         stat.sum.fetch_add(value, Ordering::Relaxed);
         let bucket = if value == 0 { 0 } else { 64 - value.leading_zeros() as usize };
+        // relaxed: same single-cell increment as count/sum above.
         stat.buckets[bucket].fetch_add(1, Ordering::Relaxed);
     }
 
@@ -444,6 +449,7 @@ mod imp {
     #[inline]
     pub fn event<F: FnOnce() -> String>(name: &'static str, detail: F) {
         let stat = stat_for(&registry().events, name);
+        // relaxed: the count is advisory; `last` is guarded by its own mutex.
         stat.count.fetch_add(1, Ordering::Relaxed);
         *stat.last.lock().unwrap() = detail();
     }
@@ -519,6 +525,8 @@ mod imp {
             .iter()
             .map(|(path, s)| SpanSnapshot {
                 path: path.clone(),
+                // relaxed: snapshots race live writers by design; per-cell
+                // atomicity is all the report needs.
                 count: s.count.load(Ordering::Relaxed),
                 total_ns: s.total_ns.load(Ordering::Relaxed),
             })
@@ -531,6 +539,7 @@ mod imp {
             .iter()
             .map(|(name, v)| CounterSnapshot {
                 name: name.clone(),
+                // relaxed: snapshot read of an advisory counter.
                 value: v.load(Ordering::Relaxed),
             })
             .collect();
@@ -546,6 +555,7 @@ mod imp {
                     .iter()
                     .enumerate()
                     .filter_map(|(i, b)| {
+                        // relaxed: snapshot read of an advisory bucket count.
                         let n = b.load(Ordering::Relaxed);
                         (n > 0).then(|| {
                             let le = if i >= 64 { u64::MAX } else { (1u64 << i) - 1 };
@@ -555,6 +565,7 @@ mod imp {
                     .collect();
                 HistogramSnapshot {
                     name: name.clone(),
+                    // relaxed: snapshot reads race live writers by design.
                     count: h.count.load(Ordering::Relaxed),
                     sum: h.sum.load(Ordering::Relaxed),
                     buckets,
@@ -569,6 +580,7 @@ mod imp {
             .iter()
             .map(|(name, e)| EventSnapshot {
                 name: name.clone(),
+                // relaxed: snapshot read of an advisory event count.
                 count: e.count.load(Ordering::Relaxed),
                 last: e.last.lock().unwrap().clone(),
             })

@@ -13,6 +13,11 @@
 # Optional: set ARC_CHECK_TELEMETRY=1 to also build and test with the
 # `telemetry` feature on. The golden container/stream suites run in both
 # modes, proving instrumentation never changes any encoded byte.
+#
+# Optional: set ARC_SKIP_LINT=1 to skip the arc-lint gate (on by default).
+# The gate fails on any violation beyond lint-baseline.json and on stale
+# baseline entries; regenerate with scripts/lint_baseline.sh after paying
+# debt down.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -31,6 +36,11 @@ cargo test -q
 
 echo "==> workspace tests: cargo test --workspace -q"
 cargo test --workspace -q
+
+if [[ "${ARC_SKIP_LINT:-0}" != "1" ]]; then
+    echo "==> arc-lint: cargo run -q -p arc-lint -- --deny --strict-baseline"
+    cargo run -q -p arc-lint -- --deny --strict-baseline
+fi
 
 if [[ "${ARC_CHECK_TELEMETRY:-0}" == "1" ]]; then
     echo "==> telemetry: cargo build --release --features telemetry"
