@@ -94,18 +94,47 @@ fn parse_header(bytes: &[u8]) -> Result<ContainerMeta, ArcError> {
     let scheme_id = id.to_string();
     let mut pos = 6 + id_len;
     let mut read_u64 = |bytes: &[u8]| -> u64 {
-        let v = u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap());
+        let v = le_u64(bytes, pos);
         pos += 8;
         v
     };
     let chunk_size = read_u64(bytes) as usize;
     let data_len = read_u64(bytes) as usize;
     let payload_len = read_u64(bytes) as usize;
-    let data_crc = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+    let data_crc = le_u32(bytes, pos);
     if chunk_size == 0 {
         return Err(bad("zero chunk size"));
     }
     Ok(ContainerMeta { scheme_id, chunk_size, data_len, payload_len, data_crc })
+}
+
+/// Clamped little-endian `u64` load: bytes past the end read as zero. The
+/// `fixed` length check in [`parse_header`] guarantees the range exists;
+/// the clamp keeps the parser total even if that invariant ever breaks.
+fn le_u64(bytes: &[u8], pos: usize) -> u64 {
+    let mut b = [0u8; 8];
+    if let Some(src) = bytes.get(pos..pos + 8) {
+        b.copy_from_slice(src);
+    }
+    u64::from_le_bytes(b)
+}
+
+/// Clamped little-endian `u32` load (see [`le_u64`]).
+fn le_u32(bytes: &[u8], pos: usize) -> u32 {
+    let mut b = [0u8; 4];
+    if let Some(src) = bytes.get(pos..pos + 4) {
+        b.copy_from_slice(src);
+    }
+    u32::from_le_bytes(b)
+}
+
+/// Clamped little-endian `u16` load (see [`le_u64`]).
+fn le_u16(bytes: &[u8], pos: usize) -> u16 {
+    let mut b = [0u8; 2];
+    if let Some(src) = bytes.get(pos..pos + 2) {
+        b.copy_from_slice(src);
+    }
+    u16::from_le_bytes(b)
 }
 
 /// Size of the container framing for `meta` — the triplicated length
@@ -121,24 +150,40 @@ pub fn header_len(meta: &ContainerMeta) -> usize {
 
 /// Write the container framing into `out`, which must be exactly
 /// [`header_len`] bytes. `out` may hold arbitrary garbage; every byte is
-/// overwritten.
-pub fn write_header(meta: &ContainerMeta, out: &mut [u8]) {
-    assert!(meta.scheme_id.len() <= 64, "scheme id too long for the container header");
+/// overwritten. An over-long scheme id or a mis-sized buffer is an
+/// [`ArcError::InvalidRequest`], never a panic.
+pub fn write_header(meta: &ContainerMeta, out: &mut [u8]) -> Result<(), ArcError> {
+    if meta.scheme_id.len() > 64 {
+        return Err(ArcError::InvalidRequest(format!(
+            "scheme id of {} bytes exceeds the container header's 64-byte cap",
+            meta.scheme_id.len()
+        )));
+    }
     let header = serialize_header(meta);
-    let rs = RsCodeword::new(HEADER_NSYM).expect("static nsym");
-    assert!(
-        header.len() <= rs.max_message_len(),
-        "header of {} bytes exceeds one RS codeword",
-        header.len()
-    );
+    let Ok(rs) = RsCodeword::new(HEADER_NSYM) else {
+        return Err(ArcError::InvalidRequest("header RS codeword unavailable".into()));
+    };
+    if header.len() > rs.max_message_len() {
+        return Err(ArcError::InvalidRequest(format!(
+            "header of {} bytes exceeds one RS codeword",
+            header.len()
+        )));
+    }
     let codeword = rs.encode(&header);
-    assert_eq!(out.len(), 6 + 2 * codeword.len(), "write_header: buffer size mismatch");
+    if out.len() != 6 + 2 * codeword.len() {
+        return Err(ArcError::InvalidRequest(format!(
+            "write_header: buffer is {} bytes, framing needs {}",
+            out.len(),
+            6 + 2 * codeword.len()
+        )));
+    }
     let len = (codeword.len() as u16).to_le_bytes();
     out[0..2].copy_from_slice(&len);
     out[2..4].copy_from_slice(&len);
     out[4..6].copy_from_slice(&len);
     out[6..6 + codeword.len()].copy_from_slice(&codeword);
     out[6 + codeword.len()..].copy_from_slice(&codeword);
+    Ok(())
 }
 
 /// Assemble a container around an encoded payload.
@@ -146,13 +191,13 @@ pub fn write_header(meta: &ContainerMeta, out: &mut [u8]) {
 /// Convenience wrapper over [`header_len`] + [`write_header`]; the zero-copy
 /// encode paths skip it and scatter-write the payload directly after the
 /// reserved header prefix.
-pub fn pack(meta: &ContainerMeta, payload: &[u8]) -> Vec<u8> {
+pub fn pack(meta: &ContainerMeta, payload: &[u8]) -> Result<Vec<u8>, ArcError> {
     debug_assert_eq!(meta.payload_len, payload.len());
     let hlen = header_len(meta);
     let mut out = vec![0u8; hlen + payload.len()];
-    write_header(meta, &mut out[..hlen]);
+    write_header(meta, &mut out[..hlen])?;
     out[hlen..].copy_from_slice(payload);
-    out
+    Ok(out)
 }
 
 /// Result of unpacking a container.
@@ -178,11 +223,7 @@ pub fn unpack(bytes: &[u8]) -> Result<Unpacked<'_>, ArcError> {
         return Err(ArcError::Corrupted("container shorter than its length prefix".into()));
     }
     // Majority-vote the triplicated length field.
-    let lens: [u16; 3] = [
-        u16::from_le_bytes(bytes[0..2].try_into().unwrap()),
-        u16::from_le_bytes(bytes[2..4].try_into().unwrap()),
-        u16::from_le_bytes(bytes[4..6].try_into().unwrap()),
-    ];
+    let lens: [u16; 3] = [le_u16(bytes, 0), le_u16(bytes, 2), le_u16(bytes, 4)];
     let voted = if lens[0] == lens[1] || lens[0] == lens[2] {
         lens[0]
     } else if lens[1] == lens[2] {
@@ -191,7 +232,9 @@ pub fn unpack(bytes: &[u8]) -> Result<Unpacked<'_>, ArcError> {
         // No majority: try each in turn below.
         0
     };
-    let rs = RsCodeword::new(HEADER_NSYM).expect("static nsym");
+    let Ok(rs) = RsCodeword::new(HEADER_NSYM) else {
+        return Err(ArcError::Corrupted("header RS codeword unavailable".into()));
+    };
     let try_len = |len: u16| -> Option<Unpacked<'_>> {
         let len = len as usize;
         if len <= HEADER_NSYM || bytes.len() < 6 + 2 * len {
@@ -255,7 +298,7 @@ mod tests {
     fn pack_unpack_round_trip() {
         let m = meta();
         let payload = vec![7u8; 64];
-        let packed = pack(&m, &payload);
+        let packed = pack(&m, &payload).unwrap();
         let u = unpack(&packed).unwrap();
         assert_eq!(u.meta, m);
         assert_eq!(u.payload, &payload[..]);
@@ -267,7 +310,7 @@ mod tests {
     fn header_survives_scattered_corruption() {
         let m = meta();
         let payload = vec![1u8; 64];
-        let packed = pack(&m, &payload);
+        let packed = pack(&m, &payload).unwrap();
         // Corrupt 10 bytes of the primary header codeword.
         let mut bad = packed.clone();
         for i in 0..10 {
@@ -282,7 +325,7 @@ mod tests {
     fn destroyed_primary_header_falls_back_to_backup() {
         let m = meta();
         let payload = vec![1u8; 64];
-        let packed = pack(&m, &payload);
+        let packed = pack(&m, &payload).unwrap();
         let len = u16::from_le_bytes(packed[0..2].try_into().unwrap()) as usize;
         let mut bad = packed.clone();
         for b in &mut bad[6..6 + len] {
@@ -297,7 +340,7 @@ mod tests {
     fn corrupted_length_prefix_is_voted_out() {
         let m = meta();
         let payload = vec![9u8; 64];
-        let packed = pack(&m, &payload);
+        let packed = pack(&m, &payload).unwrap();
         let mut bad = packed.clone();
         bad[0] ^= 0xFF; // first copy of the length field
         bad[1] ^= 0x13;
@@ -309,7 +352,7 @@ mod tests {
     fn both_headers_destroyed_is_detected() {
         let m = meta();
         let payload = vec![2u8; 64];
-        let packed = pack(&m, &payload);
+        let packed = pack(&m, &payload).unwrap();
         let len = u16::from_le_bytes(packed[0..2].try_into().unwrap()) as usize;
         let mut bad = packed.clone();
         for b in &mut bad[6..6 + 2 * len] {
@@ -322,7 +365,7 @@ mod tests {
     fn payload_length_mismatch_detected() {
         let m = meta();
         let payload = vec![3u8; 64];
-        let mut packed = pack(&m, &payload);
+        let mut packed = pack(&m, &payload).unwrap();
         packed.truncate(packed.len() - 10);
         assert!(matches!(unpack(&packed), Err(ArcError::Corrupted(_))));
     }
@@ -331,7 +374,7 @@ mod tests {
     fn every_single_byte_corruption_of_header_region_recovers_or_detects() {
         let m = meta();
         let payload = vec![4u8; 64];
-        let packed = pack(&m, &payload);
+        let packed = pack(&m, &payload).unwrap();
         let len = u16::from_le_bytes(packed[0..2].try_into().unwrap()) as usize;
         for i in 0..6 + 2 * len {
             let mut bad = packed.clone();
@@ -348,7 +391,7 @@ mod tests {
         for config in EccConfig::standard_space() {
             let m = ContainerMeta { scheme_id: config.id(), ..meta() };
             let payload = vec![5u8; 64];
-            let packed = pack(&m, &payload);
+            let packed = pack(&m, &payload).unwrap();
             let hlen = header_len(&m);
             assert_eq!(packed.len(), hlen + payload.len(), "{}", m.scheme_id);
             assert_eq!(&packed[hlen..], &payload[..]);
@@ -361,10 +404,10 @@ mod tests {
     fn write_header_overwrites_garbage() {
         let m = meta();
         let payload = vec![8u8; 64];
-        let reference = pack(&m, &payload);
+        let reference = pack(&m, &payload).unwrap();
         let hlen = header_len(&m);
         let mut buf = vec![0xCCu8; hlen];
-        write_header(&m, &mut buf);
+        write_header(&m, &mut buf).unwrap();
         assert_eq!(&buf[..], &reference[..hlen]);
     }
 
@@ -373,7 +416,7 @@ mod tests {
         for config in EccConfig::standard_space() {
             let m = ContainerMeta { scheme_id: config.id(), ..meta() };
             let payload = vec![0u8; 64];
-            let packed = pack(&m, &payload);
+            let packed = pack(&m, &payload).unwrap();
             let u = unpack(&packed).unwrap();
             assert_eq!(u.meta.builtin_config(), Some(config));
         }

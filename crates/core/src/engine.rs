@@ -35,7 +35,7 @@ pub fn arc_engine_encode(
     };
     let hlen = container::header_len(&meta);
     let mut out = vec![0u8; hlen + meta.payload_len];
-    container::write_header(&meta, &mut out[..hlen]);
+    container::write_header(&meta, &mut out[..hlen])?;
     codec.encode_into(data, &mut out[hlen..]);
     Ok(out)
 }

@@ -126,7 +126,7 @@ pub fn encode_with_scheme(
     };
     let hlen = container::header_len(&meta);
     let mut out = vec![0u8; hlen + meta.payload_len];
-    container::write_header(&meta, &mut out[..hlen]);
+    container::write_header(&meta, &mut out[..hlen])?;
     codec.encode_into(data, &mut out[hlen..]);
     Ok(out)
 }
@@ -150,6 +150,15 @@ pub fn decode_with_registry(
             meta.scheme_id
         ))
     })?;
+    // Bound data_len by the real payload before any codec length
+    // arithmetic can see it (see interface::decode_with_threads).
+    if meta.data_len > unpacked.payload.len() {
+        return Err(ArcError::Corrupted(format!(
+            "declared data length {} exceeds payload length {}",
+            meta.data_len,
+            unpacked.payload.len()
+        )));
+    }
     let codec = ParallelCodec::with_chunk_size(scheme, threads, meta.chunk_size)?;
     let mut data = unpacked.payload.to_vec();
     let correction = codec.decode_in_place(&mut data, meta.data_len)?;

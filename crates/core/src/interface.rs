@@ -192,7 +192,7 @@ impl ArcContext {
         };
         let hlen = container::header_len(&meta);
         let mut out = vec![0u8; hlen + meta.payload_len];
-        container::write_header(&meta, &mut out[..hlen]);
+        container::write_header(&meta, &mut out[..hlen])?;
         let t0 = std::time::Instant::now();
         codec.encode_into(data, &mut out[hlen..]);
         let seconds = t0.elapsed().as_secs_f64();
@@ -274,6 +274,16 @@ pub fn decode_with_threads(
             meta.scheme_id
         ))
     })?;
+    // The original data is a subset of the ECC-encoded payload; a corrupt
+    // data_len that slipped past the header codeword must not reach the
+    // codec's length arithmetic.
+    if meta.data_len > unpacked.payload.len() {
+        return Err(ArcError::Corrupted(format!(
+            "declared data length {} exceeds payload length {}",
+            meta.data_len,
+            unpacked.payload.len()
+        )));
+    }
     let codec = ParallelCodec::with_chunk_size(config, threads, meta.chunk_size)?;
     let mut data = unpacked.payload.to_vec();
     let correction = codec.decode_in_place(&mut data, meta.data_len)?;
@@ -324,6 +334,15 @@ pub fn decode_in_place_with_threads(
             meta.scheme_id
         ))
     })?;
+    // See decode_with_threads: bound data_len by the real payload before
+    // any codec length arithmetic can see it.
+    if meta.data_len > bytes.len() - payload_offset {
+        return Err(ArcError::Corrupted(format!(
+            "declared data length {} exceeds payload length {}",
+            meta.data_len,
+            bytes.len() - payload_offset
+        )));
+    }
     let codec = ParallelCodec::with_chunk_size(config, threads, meta.chunk_size)?;
     let payload = &mut bytes[payload_offset..];
     let correction = codec.decode_in_place(payload, meta.data_len)?;

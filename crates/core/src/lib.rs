@@ -66,7 +66,7 @@ pub use engine::{
     arc_parity_decode, arc_parity_encode, arc_reed_solomon_decode, arc_reed_solomon_encode,
     arc_secded_decode, arc_secded_encode, ENGINE_FUNCTIONS,
 };
-pub use error::ArcError;
+pub use error::{ArcError, DecodeError};
 pub use extension::{decode_with_registry, encode_with_scheme, ExtensionRegistry};
 pub use failure::SystemProfile;
 pub use interface::{

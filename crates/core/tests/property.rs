@@ -37,7 +37,7 @@ proptest! {
             payload_len: payload.len(),
             data_crc: crc,
         };
-        let packed = pack(&meta, &payload);
+        let packed = pack(&meta, &payload).unwrap();
         let u = unpack(&packed).unwrap();
         prop_assert_eq!(u.meta, meta);
         prop_assert_eq!(u.payload, &payload[..]);
@@ -57,7 +57,7 @@ proptest! {
             payload_len: payload.len(),
             data_crc: 0xABCD_1234,
         };
-        let packed = pack(&meta, &payload);
+        let packed = pack(&meta, &payload).unwrap();
         let len = u16::from_le_bytes(packed[0..2].try_into().unwrap()) as usize;
         let header_region = 6 + 2 * len;
         let mut bad = packed.clone();

@@ -1,0 +1,585 @@
+//! Deterministic structure-aware hostile-input harness.
+//!
+//! Where [`crate::trial`] reproduces the paper's *random single-bit* fault
+//! model (§4.2), this module attacks the decoders the way a hostile or
+//! badly-corrupted storage layer would: seeded multi-bit flips, truncation
+//! at every header boundary, length-field inflation, and valid-header /
+//! garbage-body splices. The contract under test is **totality**, not
+//! correctness: every decode must either return data or return an error —
+//! never panic (the paper's *Terminated* class), never demand unbounded
+//! output (*Timeout* via corrupted loop-controlling metadata), and never
+//! hang past a wall-clock guard.
+//!
+//! A decode that "succeeds" and hands back garbage is acceptable here —
+//! that is the paper's *Completed* class, and detecting it is ARC's job
+//! (ECC + end-to-end CRC), not the codec's.
+//!
+//! Every case is reproducible: mutation positions derive from
+//! [`HostileConfig::seed`] XOR an FNV-1a hash of the stream name, so a
+//! failure report's `(target, stream, case)` triple pins down the exact
+//! corrupt buffer.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::inject::{flip_bit, sample_bits};
+
+/// Tuning knobs for a hostile sweep.
+#[derive(Debug, Clone)]
+pub struct HostileConfig {
+    /// Master seed; every mutation position derives from it.
+    pub seed: u64,
+    /// Random multi-bit-flip cases per stream.
+    pub flips: usize,
+    /// Body truncation cases per stream (header boundaries are always all
+    /// exercised on top of these).
+    pub truncations: usize,
+    /// Length-field-inflation cases per stream (0xFF runs stamped into the
+    /// header region).
+    pub inflations: usize,
+    /// Valid-header / garbage-body splice cases per stream.
+    pub splices: usize,
+    /// Wall-clock guard per case; a decode still running after this is the
+    /// paper's *Timeout* class and a harness failure.
+    pub max_case_duration: Duration,
+    /// Output-byte budget handed to each decoder; producing (or demanding)
+    /// more is an over-budget failure.
+    pub max_output_bytes: u64,
+}
+
+impl Default for HostileConfig {
+    fn default() -> HostileConfig {
+        HostileConfig {
+            seed: 0xA5C0_FFEE,
+            flips: 64,
+            truncations: 32,
+            inflations: 16,
+            splices: 6,
+            max_case_duration: Duration::from_secs(2),
+            max_output_bytes: 32 << 20,
+        }
+    }
+}
+
+impl HostileConfig {
+    /// A reduced configuration sized for CI unit tests (fewer cases, the
+    /// same four mutation families).
+    pub fn quick() -> HostileConfig {
+        HostileConfig {
+            flips: 12,
+            truncations: 6,
+            inflations: 4,
+            splices: 2,
+            ..HostileConfig::default()
+        }
+    }
+}
+
+/// A pristine encoded stream plus a hint where its header region ends,
+/// used to focus truncation and inflation attacks on structure-bearing
+/// bytes.
+#[derive(Debug, Clone)]
+pub struct GoldenStream {
+    /// Label used in failure reports and per-stream seeding.
+    pub name: String,
+    /// The pristine encoded bytes.
+    pub bytes: Vec<u8>,
+    /// Byte length of the header/metadata region (clamped to the stream
+    /// length when attacks are generated).
+    pub header_len: usize,
+}
+
+/// A decode entry point under test. Takes the (possibly corrupt) bytes and
+/// an output-byte budget; returns the number of output bytes produced, or
+/// a rejection reason.
+pub type DecodeFn = Arc<dyn Fn(&[u8], u64) -> Result<u64, String> + Send + Sync>;
+
+/// One decoder plus the golden streams it will be attacked through.
+#[derive(Clone)]
+pub struct DecodeTarget {
+    /// Decoder label (e.g. `"sz"`, `"container"`).
+    pub name: String,
+    /// Pristine streams this decoder accepts.
+    pub streams: Vec<GoldenStream>,
+    /// The fallible decode entry point.
+    pub decode: DecodeFn,
+}
+
+impl std::fmt::Debug for DecodeTarget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DecodeTarget")
+            .field("name", &self.name)
+            .field("streams", &self.streams.len())
+            .finish()
+    }
+}
+
+/// Outcome of one hostile case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CaseStatus {
+    /// The decoder returned a typed error — the ideal outcome.
+    Rejected,
+    /// The decoder returned data (possibly garbage) within budget — the
+    /// paper's *Completed* class; acceptable for permissive decoders.
+    Completed {
+        /// Output bytes produced.
+        output_bytes: u64,
+    },
+    /// The decoder panicked — a totality violation (the paper's
+    /// *Terminated* class).
+    Panicked(String),
+    /// The decoder exceeded the wall-clock guard (*Timeout* class). The
+    /// worker thread is leaked; the sweep carries on.
+    TimedOut,
+    /// The decoder produced more output than its byte budget allows.
+    OverBudget {
+        /// Output bytes produced.
+        output_bytes: u64,
+    },
+}
+
+impl CaseStatus {
+    /// Whether this status violates the totality contract.
+    pub fn is_failure(&self) -> bool {
+        matches!(
+            self,
+            CaseStatus::Panicked(_) | CaseStatus::TimedOut | CaseStatus::OverBudget { .. }
+        )
+    }
+}
+
+/// A contract-violating case, with enough context to reproduce it.
+#[derive(Debug, Clone)]
+pub struct CaseFailure {
+    /// Decoder label.
+    pub target: String,
+    /// Golden stream label.
+    pub stream: String,
+    /// Mutation case label (family + deterministic position info).
+    pub case: String,
+    /// The violating status.
+    pub status: CaseStatus,
+}
+
+impl std::fmt::Display for CaseFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}/{}: {:?}", self.target, self.stream, self.case, self.status)
+    }
+}
+
+/// Aggregate result of a hostile sweep.
+#[derive(Debug, Clone, Default)]
+pub struct HostileReport {
+    /// Total cases executed.
+    pub cases: usize,
+    /// Cases the decoder rejected with a typed error.
+    pub rejected: usize,
+    /// Cases that decoded to (possibly garbage) data within budget.
+    pub completed: usize,
+    /// Panicking cases (failures).
+    pub panicked: usize,
+    /// Wall-clock-guard violations (failures).
+    pub timed_out: usize,
+    /// Output-budget violations (failures).
+    pub over_budget: usize,
+    /// Every contract-violating case.
+    pub failures: Vec<CaseFailure>,
+    /// Slowest observed case.
+    pub worst_case: Duration,
+}
+
+impl HostileReport {
+    /// True when no case panicked, hung, or blew the output budget.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// One-line summary for logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} cases: {} rejected, {} completed, {} panicked, {} timed out, \
+             {} over budget (worst case {:?})",
+            self.cases,
+            self.rejected,
+            self.completed,
+            self.panicked,
+            self.timed_out,
+            self.over_budget,
+            self.worst_case
+        )
+    }
+
+    fn record(&mut self, target: &str, stream: &str, case: &str, status: CaseStatus) {
+        self.cases += 1;
+        match &status {
+            CaseStatus::Rejected => self.rejected += 1,
+            CaseStatus::Completed { .. } => self.completed += 1,
+            CaseStatus::Panicked(_) => self.panicked += 1,
+            CaseStatus::TimedOut => self.timed_out += 1,
+            CaseStatus::OverBudget { .. } => self.over_budget += 1,
+        }
+        if status.is_failure() {
+            self.failures.push(CaseFailure {
+                target: target.to_string(),
+                stream: stream.to_string(),
+                case: case.to_string(),
+                status,
+            });
+        }
+    }
+}
+
+/// FNV-1a over a byte string — a tiny, dependency-free stable hash used to
+/// derive a per-stream seed from the master seed.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Generate every labeled hostile mutation of `stream` under `cfg`.
+///
+/// Four families, all deterministic in `cfg.seed` and the stream name:
+///
+/// 1. **Bit flips** — `cfg.flips` buffers each with 1–8 seeded flips.
+/// 2. **Truncations** — one case per byte boundary through the header
+///    region (catching every partial-header length) plus `cfg.truncations`
+///    sampled body cut points.
+/// 3. **Inflations** — 0xFF runs stamped over header bytes, the classic
+///    way to blow up length/count fields.
+/// 4. **Splices** — the pristine header followed by garbage bodies
+///    (zeros, 0xFF, seeded noise) at assorted lengths.
+pub fn mutations(stream: &GoldenStream, cfg: &HostileConfig) -> Vec<(String, Vec<u8>)> {
+    let bytes = &stream.bytes;
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ fnv1a(stream.name.as_bytes()));
+    let mut cases: Vec<(String, Vec<u8>)> = Vec::new();
+    if bytes.is_empty() {
+        return cases;
+    }
+    let total_bits = bytes.len() as u64 * 8;
+    let header_end = stream.header_len.min(bytes.len());
+
+    // Family 1: multi-bit flips.
+    for i in 0..cfg.flips {
+        let nflips = 1 + (i % 8);
+        let case_seed: u64 = rng.random();
+        let mut buf = bytes.clone();
+        for bit in sample_bits(total_bits, nflips.min(total_bits as usize), case_seed) {
+            flip_bit(&mut buf, bit);
+        }
+        cases.push((format!("flip{i}x{nflips}"), buf));
+    }
+
+    // Family 2: truncation at every header boundary, then sampled body cuts.
+    for cut in 0..=header_end {
+        cases.push((format!("trunc-hdr{cut}"), bytes[..cut].to_vec()));
+    }
+    for i in 0..cfg.truncations {
+        let cut = rng.random_range(0..bytes.len());
+        cases.push((format!("trunc-body{i}@{cut}"), bytes[..cut].to_vec()));
+    }
+
+    // Family 3: length-field inflation — 0xFF runs in the header region.
+    for i in 0..cfg.inflations {
+        let run = [2usize, 5, 8][i % 3];
+        let at = rng.random_range(0..header_end.max(1));
+        let mut buf = bytes.clone();
+        for b in buf.iter_mut().skip(at).take(run) {
+            *b = 0xFF;
+        }
+        cases.push((format!("inflate{i}@{at}x{run}"), buf));
+    }
+
+    // Family 4: pristine header, hostile body.
+    let body_lens = [bytes.len().saturating_sub(header_end), 16, 1024];
+    for i in 0..cfg.splices {
+        let body_len = body_lens[i % body_lens.len()];
+        let mut buf = bytes[..header_end].to_vec();
+        match i % 3 {
+            0 => buf.extend(std::iter::repeat_n(0u8, body_len)),
+            1 => buf.extend(std::iter::repeat_n(0xFFu8, body_len)),
+            _ => buf.extend((0..body_len).map(|_| rng.random::<u8>())),
+        }
+        cases.push((format!("splice{i}x{body_len}"), buf));
+    }
+
+    cases
+}
+
+/// Render a panic payload as text without re-panicking.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run one decode attempt under the totality contract.
+///
+/// The decode runs on a fresh thread so a hang can be abandoned: on
+/// timeout the worker is leaked (it holds only its own copy of the buffer)
+/// and the case is reported as [`CaseStatus::TimedOut`].
+pub fn run_case(decode: &DecodeFn, bytes: &[u8], cfg: &HostileConfig) -> (CaseStatus, Duration) {
+    let (tx, rx) = mpsc::channel();
+    let decode = Arc::clone(decode);
+    let buf = bytes.to_vec();
+    let budget = cfg.max_output_bytes;
+    let start = Instant::now();
+    thread::spawn(move || {
+        let result = catch_unwind(AssertUnwindSafe(|| decode(&buf, budget)));
+        let _ = tx.send(result);
+    });
+    let status = match rx.recv_timeout(cfg.max_case_duration) {
+        Err(_) => CaseStatus::TimedOut,
+        Ok(Err(payload)) => CaseStatus::Panicked(panic_message(payload)),
+        Ok(Ok(Err(_reason))) => CaseStatus::Rejected,
+        Ok(Ok(Ok(produced))) => {
+            if produced > cfg.max_output_bytes {
+                CaseStatus::OverBudget { output_bytes: produced }
+            } else {
+                CaseStatus::Completed { output_bytes: produced }
+            }
+        }
+    };
+    (status, start.elapsed())
+}
+
+/// Sweep every mutation of every stream of every target.
+pub fn sweep(targets: &[DecodeTarget], cfg: &HostileConfig) -> HostileReport {
+    let mut report = HostileReport::default();
+    for target in targets {
+        for stream in &target.streams {
+            for (case, buf) in mutations(stream, cfg) {
+                let (status, elapsed) = run_case(&target.decode, &buf, cfg);
+                report.worst_case = report.worst_case.max(elapsed);
+                report.record(&target.name, &stream.name, &case, status);
+            }
+        }
+    }
+    report
+}
+
+/// Sweep the built-in corpus (every workspace decoder) under `cfg`.
+pub fn sweep_builtin(cfg: &HostileConfig) -> HostileReport {
+    sweep(&builtin_targets(), cfg)
+}
+
+/// The smooth 2-D field used to build golden streams (48×48, the same
+/// shape class as the paper's SDRBench fields, scaled down for speed).
+fn golden_field() -> (Vec<f32>, Vec<usize>) {
+    let dims = vec![48usize, 48];
+    let data: Vec<f32> = (0..48 * 48)
+        .map(|i| {
+            let (r, c) = (i / 48, i % 48);
+            ((r as f32) * 0.13).sin() * 4.0 + ((c as f32) * 0.07).cos() * 2.5 + 0.5
+        })
+        .collect();
+    (data, dims)
+}
+
+/// Build one [`DecodeTarget`] per decode entry point in the workspace:
+/// SZ, ZFP, the gzip-like and zstd-like lossless codecs, and the ARC ECC
+/// container (one golden stream per built-in scheme family).
+///
+/// Stream construction is infallible in practice; if an encoder ever
+/// refuses its golden input the stream is simply omitted (the sweep tests
+/// assert the corpus is non-empty).
+pub fn builtin_targets() -> Vec<DecodeTarget> {
+    let (data, dims) = golden_field();
+    let mut targets: Vec<DecodeTarget> = Vec::new();
+
+    // SZ: error-bounded prediction + quantization, ~48-byte header.
+    let mut sz_streams = Vec::new();
+    for (label, bound) in
+        [("sz-abs", arc_sz::ErrorBound::Abs(1e-3)), ("sz-pwrel", arc_sz::ErrorBound::PwRel(1e-2))]
+    {
+        let cfg = arc_sz::SzConfig { bound, ..arc_sz::SzConfig::default() };
+        if let Ok(bytes) = arc_sz::compress(&data, &dims, &cfg) {
+            sz_streams.push(GoldenStream { name: label.to_string(), bytes, header_len: 48 });
+        }
+    }
+    targets.push(DecodeTarget {
+        name: "sz".to_string(),
+        streams: sz_streams,
+        decode: Arc::new(|b, budget| {
+            let limits = arc_sz::DecodeLimits { max_elements: (budget / 4).max(1) };
+            arc_sz::decompress_with_limits(b, &limits)
+                .map(|d| d.data.len() as u64 * 4)
+                .map_err(|e| e.to_string())
+        }),
+    });
+
+    // ZFP: transform coding, ~32-byte header.
+    let mut zfp_streams = Vec::new();
+    for (label, mode) in [
+        ("zfp-acc", arc_zfp::ZfpMode::FixedAccuracy(1e-3)),
+        ("zfp-rate", arc_zfp::ZfpMode::FixedRate(8.0)),
+    ] {
+        if let Ok(bytes) = arc_zfp::compress(&data, &dims, mode) {
+            zfp_streams.push(GoldenStream { name: label.to_string(), bytes, header_len: 32 });
+        }
+    }
+    targets.push(DecodeTarget {
+        name: "zfp".to_string(),
+        streams: zfp_streams,
+        decode: Arc::new(|b, budget| {
+            let limits = arc_zfp::DecodeLimits { max_elements: (budget / 4).max(1) };
+            arc_zfp::decompress_with_limits(b, &limits)
+                .map(|d| d.data.len() as u64 * 4)
+                .map_err(|e| e.to_string())
+        }),
+    });
+
+    // Lossless codecs over a compressible byte corpus.
+    let text: Vec<u8> =
+        b"the quick brown fox jumps over the lazy dog 0123456789 ".repeat(96).to_vec();
+    targets.push(DecodeTarget {
+        name: "gzip-like".to_string(),
+        streams: vec![GoldenStream {
+            name: "deflate-text".to_string(),
+            bytes: arc_lossless::deflate::compress(&text),
+            header_len: 64,
+        }],
+        decode: Arc::new(|b, budget| {
+            arc_lossless::deflate::decompress_with_limit(b, budget)
+                .map(|v| v.len() as u64)
+                .map_err(|e| e.to_string())
+        }),
+    });
+    targets.push(DecodeTarget {
+        name: "zstd-like".to_string(),
+        streams: vec![GoldenStream {
+            name: "zstd-text".to_string(),
+            bytes: arc_lossless::zstd_like::compress(&text),
+            header_len: 64,
+        }],
+        decode: Arc::new(|b, budget| {
+            arc_lossless::zstd_like::decompress_with_limit(b, budget)
+                .map(|v| v.len() as u64)
+                .map_err(|e| e.to_string())
+        }),
+    });
+
+    // ARC ECC containers, one stream per built-in scheme family. The
+    // container header is fully RS-protected, so its length is the most
+    // interesting truncation range.
+    let payload: Vec<u8> = (0..24_000u32).map(|i| (i.wrapping_mul(31) % 251) as u8).collect();
+    let mut container_streams = Vec::new();
+    let configs = [
+        ("ecc-parity", arc_ecc::EccConfig::parity(8).ok()),
+        ("ecc-secded", Some(arc_ecc::EccConfig::secded(true))),
+        ("ecc-rs", arc_ecc::EccConfig::rs(16, 4).ok()),
+    ];
+    for (label, config) in configs {
+        let Some(config) = config else { continue };
+        if let Ok(bytes) = arc_core::arc_engine_encode(&payload, config, 1) {
+            // The header occupies everything before the payload; probe its
+            // true length from the pristine container so every boundary in
+            // `0..=header_len` is exercised.
+            let header_len = arc_core::container::unpack(&bytes)
+                .map(|u| bytes.len() - u.payload.len())
+                .unwrap_or(128);
+            container_streams.push(GoldenStream { name: label.to_string(), bytes, header_len });
+        }
+    }
+    targets.push(DecodeTarget {
+        name: "container".to_string(),
+        streams: container_streams,
+        decode: Arc::new(|b, _budget| {
+            arc_core::decode_with_threads(b, 1)
+                .map(|(data, _report)| data.len() as u64)
+                .map_err(|e| e.to_string())
+        }),
+    });
+
+    targets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_covers_every_decoder() {
+        let targets = builtin_targets();
+        let names: Vec<&str> = targets.iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(names, vec!["sz", "zfp", "gzip-like", "zstd-like", "container"]);
+        for t in &targets {
+            assert!(!t.streams.is_empty(), "target {} has no golden streams", t.name);
+            for s in &t.streams {
+                assert!(!s.bytes.is_empty(), "stream {} is empty", s.name);
+                // Pristine streams must decode cleanly.
+                let (status, _) = run_case(&t.decode, &s.bytes, &HostileConfig::default());
+                assert!(
+                    matches!(status, CaseStatus::Completed { .. }),
+                    "pristine {} did not decode: {status:?}",
+                    s.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mutations_are_deterministic() {
+        let stream = GoldenStream {
+            name: "det".to_string(),
+            bytes: (0..500u32).map(|i| (i % 256) as u8).collect(),
+            header_len: 40,
+        };
+        let cfg = HostileConfig::quick();
+        assert_eq!(mutations(&stream, &cfg), mutations(&stream, &cfg));
+        let other = HostileConfig { seed: 1, ..cfg.clone() };
+        assert_ne!(mutations(&stream, &cfg), mutations(&stream, &other));
+    }
+
+    #[test]
+    fn runner_classifies_panic_timeout_and_budget() {
+        let cfg = HostileConfig {
+            max_case_duration: Duration::from_millis(100),
+            max_output_bytes: 1000,
+            ..HostileConfig::default()
+        };
+        let panicker: DecodeFn = Arc::new(|_, _| panic!("boom"));
+        let (status, _) = run_case(&panicker, &[0u8], &cfg);
+        assert_eq!(status, CaseStatus::Panicked("boom".to_string()));
+
+        let sleeper: DecodeFn = Arc::new(|_, _| {
+            thread::sleep(Duration::from_secs(5));
+            Ok(0)
+        });
+        let (status, _) = run_case(&sleeper, &[0u8], &cfg);
+        assert_eq!(status, CaseStatus::TimedOut);
+
+        let glutton: DecodeFn = Arc::new(|_, _| Ok(10_000));
+        let (status, _) = run_case(&glutton, &[0u8], &cfg);
+        assert_eq!(status, CaseStatus::OverBudget { output_bytes: 10_000 });
+
+        let polite: DecodeFn = Arc::new(|_, _| Err("no".to_string()));
+        let (status, _) = run_case(&polite, &[0u8], &cfg);
+        assert_eq!(status, CaseStatus::Rejected);
+    }
+
+    #[test]
+    fn report_bookkeeping_flags_failures() {
+        let mut r = HostileReport::default();
+        r.record("t", "s", "c1", CaseStatus::Rejected);
+        r.record("t", "s", "c2", CaseStatus::Completed { output_bytes: 4 });
+        r.record("t", "s", "c3", CaseStatus::Panicked("x".to_string()));
+        assert_eq!((r.cases, r.rejected, r.completed, r.panicked), (3, 1, 1, 1));
+        assert!(!r.is_clean());
+        assert_eq!(r.failures.len(), 1);
+        assert!(r.failures[0].to_string().contains("t/s/c3"));
+        assert!(r.summary().contains("3 cases"));
+    }
+}

@@ -21,11 +21,16 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod hostile;
 pub mod inject;
 pub mod storm;
 pub mod trial;
 
 pub use campaign::{run_campaign, run_campaign_with_bound, CampaignReport};
+pub use hostile::{
+    builtin_targets, mutations, run_case, sweep, sweep_builtin, CaseFailure, CaseStatus,
+    DecodeTarget, GoldenStream, HostileConfig, HostileReport,
+};
 pub use inject::{flip_bit, sample_bits, sample_fraction, scatter_byte_flips, stride_bits};
 pub use storm::{apply_events, draw_events, storm, FaultEvent, FaultMix, StormSummary};
 pub use trial::{ReturnStatus, TrialContext, TrialMetrics, TrialOutcome};

@@ -33,8 +33,9 @@ impl BitWriter {
             if self.partial == 0 {
                 self.bytes.push(0);
             }
-            let last = self.bytes.last_mut().expect("just pushed");
-            *last |= (bit as u8) << (7 - self.partial);
+            if let Some(last) = self.bytes.last_mut() {
+                *last |= (bit as u8) << (7 - self.partial);
+            }
             self.partial = (self.partial + 1) % 8;
         }
     }

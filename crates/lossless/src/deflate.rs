@@ -135,8 +135,8 @@ pub fn compress_with(data: &[u8], cfg: &Lz77Config) -> Vec<u8> {
         }
     }
     lit_freq[SYM_EOB as usize] += 1;
-    let lit_code = HuffmanCode::from_frequencies(&lit_freq).expect("bounded alphabet");
-    let dist_code = HuffmanCode::from_frequencies(&dist_freq).expect("bounded alphabet");
+    let lit_code = HuffmanCode::code_for_frequencies(&lit_freq);
+    let dist_code = HuffmanCode::code_for_frequencies(&dist_freq);
     // Emission pass.
     let mut bits = BitWriter::new();
     for t in &tokens {
@@ -164,13 +164,29 @@ pub fn compress_with(data: &[u8], cfg: &Lz77Config) -> Vec<u8> {
     out
 }
 
+/// Default decode output budget: a corrupted length field may not demand
+/// more than this many bytes (callers with tighter limits use
+/// [`decompress_with_limit`]).
+pub const DEFAULT_MAX_OUTPUT: u64 = 1 << 31;
+
 /// Decompress a frame produced by [`compress`].
 pub fn decompress(bytes: &[u8]) -> Result<Vec<u8>, LosslessError> {
+    decompress_with_limit(bytes, DEFAULT_MAX_OUTPUT)
+}
+
+/// Decompress with an explicit output-byte budget: a declared length above
+/// `max_output` is rejected as [`LosslessError::WorkBudgetExceeded`] before
+/// any proportional allocation happens.
+pub fn decompress_with_limit(bytes: &[u8], max_output: u64) -> Result<Vec<u8>, LosslessError> {
     if bytes.len() < 4 || &bytes[..4] != MAGIC {
         return Err(LosslessError::malformed("bad deflate-like magic"));
     }
     let mut pos = 4usize;
-    let orig_len = read_varint(bytes, &mut pos)? as usize;
+    let declared = read_varint(bytes, &mut pos)?;
+    if declared > max_output {
+        return Err(LosslessError::WorkBudgetExceeded { demanded: declared, budget: max_output });
+    }
+    let orig_len = declared as usize;
     let lit_code = HuffmanCode::deserialize(bytes, &mut pos)?;
     let dist_code = HuffmanCode::deserialize(bytes, &mut pos)?;
     if lit_code.alphabet_size() != LITLEN_ALPHABET || dist_code.alphabet_size() != DIST_ALPHABET {

@@ -12,6 +12,14 @@ pub enum LosslessError {
     /// The stream is structurally invalid (bad magic, impossible field,
     /// out-of-range back-reference, invalid Huffman table, …).
     Malformed(String),
+    /// Decoding would exceed the caller's output budget (an inflated length
+    /// field demanding more memory than the caller is willing to allocate).
+    WorkBudgetExceeded {
+        /// Output bytes the stream claims to need.
+        demanded: u64,
+        /// Output bytes the caller allowed.
+        budget: u64,
+    },
 }
 
 impl LosslessError {
@@ -31,6 +39,9 @@ impl fmt::Display for LosslessError {
         match self {
             LosslessError::Truncated(d) => write!(f, "truncated stream: {d}"),
             LosslessError::Malformed(d) => write!(f, "malformed stream: {d}"),
+            LosslessError::WorkBudgetExceeded { demanded, budget } => {
+                write!(f, "decode demands {demanded} output bytes, budget is {budget}")
+            }
         }
     }
 }

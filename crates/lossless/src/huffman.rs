@@ -66,8 +66,7 @@ impl HuffmanCode {
         }
         let mut next_order = used.len();
         while heap.len() > 1 {
-            let a = heap.pop().expect("len > 1");
-            let b = heap.pop().expect("len > 1");
+            let (Some(a), Some(b)) = (heap.pop(), heap.pop()) else { break };
             let id = parent.len();
             parent.push(usize::MAX);
             parent[a.id] = id;
@@ -75,7 +74,10 @@ impl HuffmanCode {
             heap.push(Node { weight: a.weight.saturating_add(b.weight), order: next_order, id });
             next_order += 1;
         }
-        let root = heap.pop().expect("non-empty").id;
+        let Some(root_node) = heap.pop() else {
+            return Err(LosslessError::malformed("huffman merge heap drained"));
+        };
+        let root = root_node.id;
         for (leaf, &sym) in used.iter().enumerate() {
             let mut depth = 0u32;
             let mut node = leaf;
@@ -92,7 +94,15 @@ impl HuffmanCode {
     }
 
     /// Build the canonical code from per-symbol lengths, validating the
-    /// Kraft inequality (a corrupted table must be rejected, not trusted).
+    /// Kraft equality (a corrupted table must be rejected, not trusted).
+    ///
+    /// Over-subscribed tables (Kraft sum above 1) would assign duplicate
+    /// codewords; under-subscribed tables (sum below 1) leave codewords that
+    /// decode to nothing, so a flipped table byte could send the decoder into
+    /// the "invalid codeword" dead zone with data the encoder never wrote.
+    /// Both are rejected. The only admissible incomplete code is the
+    /// degenerate single-symbol table (one symbol, length 1), which the
+    /// encoder emits for constant streams.
     pub fn from_lengths(lengths: Vec<u8>) -> Result<HuffmanCode, LosslessError> {
         let max_len = lengths.iter().copied().max().unwrap_or(0) as u32;
         if max_len > MAX_CODE_LEN {
@@ -101,13 +111,19 @@ impl HuffmanCode {
         // Kraft sum in units of 2^-max_len.
         if max_len > 0 {
             let mut kraft: u128 = 0;
+            let mut coded = 0usize;
             for &l in &lengths {
                 if l > 0 {
                     kraft += 1u128 << (max_len - l as u32);
+                    coded += 1;
                 }
             }
             if kraft > (1u128 << max_len) {
                 return Err(LosslessError::malformed("huffman lengths violate Kraft inequality"));
+            }
+            let single_symbol = coded == 1 && max_len == 1;
+            if kraft < (1u128 << max_len) && !single_symbol {
+                return Err(LosslessError::malformed("huffman lengths are under-subscribed"));
             }
         }
         // Canonical assignment: sort by (length, symbol).
@@ -124,6 +140,41 @@ impl HuffmanCode {
             prev_len = l;
         }
         Ok(HuffmanCode { lengths, codes })
+    }
+
+    /// Build a Kraft-complete balanced code over the symbols with nonzero
+    /// frequency, ignoring the frequency magnitudes.
+    ///
+    /// For `n` coded symbols and `L = ceil(log2 n)`, the first `2^L - n`
+    /// symbols get length `L-1` and the rest length `L`, which sums Kraft to
+    /// exactly one. Used as the fallback when the optimal tree of
+    /// [`HuffmanCode::from_frequencies`] would exceed [`MAX_CODE_LEN`]
+    /// (requires Fibonacci-scale skew, ~2^48 total count) so encoders never
+    /// have to fail.
+    pub fn balanced(freqs: &[u64]) -> Result<HuffmanCode, LosslessError> {
+        let mut lengths = vec![0u8; freqs.len()];
+        let used: Vec<usize> = (0..freqs.len()).filter(|&i| freqs[i] > 0).collect();
+        match used.len() {
+            0 => {}
+            1 => lengths[used[0]] = 1,
+            n => {
+                let l = usize::BITS - (n - 1).leading_zeros();
+                let short = (1usize << l) - n;
+                for (i, &sym) in used.iter().enumerate() {
+                    lengths[sym] = if i < short { (l - 1) as u8 } else { l as u8 };
+                }
+            }
+        }
+        HuffmanCode::from_lengths(lengths)
+    }
+
+    /// Optimal code when its depth fits [`MAX_CODE_LEN`], otherwise the
+    /// [`HuffmanCode::balanced`] complete code. Total for every admissible
+    /// alphabet (≤ 2^24 symbols), so encode paths need no error branch.
+    pub fn code_for_frequencies(freqs: &[u64]) -> HuffmanCode {
+        HuffmanCode::from_frequencies(freqs)
+            .or_else(|_| HuffmanCode::balanced(freqs))
+            .unwrap_or_else(|_| HuffmanCode { lengths: Vec::new(), codes: Vec::new() })
     }
 
     /// Alphabet size (including unused symbols).
@@ -260,7 +311,7 @@ pub fn huffman_encode_block(symbols: &[u32], alphabet: usize) -> Result<Vec<u8>,
             .get_mut(s as usize)
             .ok_or_else(|| LosslessError::malformed("symbol outside alphabet"))? += 1;
     }
-    let code = HuffmanCode::from_frequencies(&freqs)?;
+    let code = HuffmanCode::code_for_frequencies(&freqs);
     let mut out = Vec::new();
     code.serialize(&mut out);
     write_varint(&mut out, symbols.len() as u64);
@@ -394,6 +445,52 @@ mod tests {
         // Three symbols of length 1 violates Kraft.
         assert!(HuffmanCode::from_lengths(vec![1, 1, 1]).is_err());
         assert!(HuffmanCode::from_lengths(vec![1, 2, 2]).is_ok());
+    }
+
+    #[test]
+    fn under_subscribed_table_rejected() {
+        // A lone length-2 symbol leaves three of four codewords undefined: a
+        // corrupted table, not a legal canonical code.
+        assert!(HuffmanCode::from_lengths(vec![2, 0, 0]).is_err());
+        // Two length-2 symbols cover only half the code space.
+        assert!(HuffmanCode::from_lengths(vec![2, 2, 0]).is_err());
+        // The degenerate single-symbol code (length 1) stays legal: the
+        // encoder emits it for constant streams.
+        assert!(HuffmanCode::from_lengths(vec![0, 1, 0]).is_ok());
+        // Empty table is legal (empty stream).
+        assert!(HuffmanCode::from_lengths(vec![0, 0, 0]).is_ok());
+    }
+
+    #[test]
+    fn crafted_bad_table_rejected_at_deserialize() {
+        // Serialize a valid code, then shrink one stored length so the table
+        // arrives under-subscribed; deserialize must reject it.
+        let code = HuffmanCode::from_lengths(vec![1, 2, 2]).unwrap();
+        let mut bytes = Vec::new();
+        code.serialize(&mut bytes);
+        // Layout: alphabet, count, then (delta, len) pairs; the first length
+        // byte sits at offset 3. Dropping 1→2 leaves 2,2,2: under-subscribed.
+        assert_eq!(bytes[3], 1);
+        bytes[3] = 2;
+        let mut pos = 0;
+        assert!(HuffmanCode::deserialize(&bytes, &mut pos).is_err());
+    }
+
+    #[test]
+    fn balanced_code_is_complete_and_decodable() {
+        let freqs: Vec<u64> = (0..37).map(|i| u64::from(i % 5 != 0)).collect();
+        let code = HuffmanCode::balanced(&freqs).unwrap();
+        let mut bits = BitWriter::new();
+        let syms: Vec<u32> = (0..37).filter(|i| i % 5 != 0).collect();
+        for &s in &syms {
+            code.encode_symbol(s, &mut bits);
+        }
+        let bytes = bits.into_bytes();
+        let dec = code.decoder();
+        let mut r = BitReader::new(&bytes);
+        for &s in &syms {
+            assert_eq!(dec.decode_symbol(&mut r).unwrap(), s);
+        }
     }
 
     #[test]

@@ -93,7 +93,7 @@ pub fn compress_with(data: &[u8], cfg: &Lz77Config) -> Vec<u8> {
     for &(sym, _, _) in &plan {
         freq[sym as usize] += 1;
     }
-    let code = HuffmanCode::from_frequencies(&freq).expect("bounded alphabet");
+    let code = HuffmanCode::code_for_frequencies(&freq);
     let mut bits = BitWriter::new();
     for &(sym, extra, nb) in &plan {
         code.encode_symbol(sym, &mut bits);
@@ -104,7 +104,9 @@ pub fn compress_with(data: &[u8], cfg: &Lz77Config) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(MAGIC);
     write_varint(&mut out, data.len() as u64);
-    let lit_block = huffman_encode_block(&literals, 256).expect("byte alphabet");
+    // Literals are bytes (< 256), so the alphabet check cannot fire; an
+    // empty block decodes as zero literals, which the decoder zero-pads.
+    let lit_block = huffman_encode_block(&literals, 256).unwrap_or_default();
     write_varint(&mut out, lit_block.len() as u64);
     out.extend_from_slice(&lit_block);
     write_varint(&mut out, sequences.len() as u64);
@@ -114,16 +116,32 @@ pub fn compress_with(data: &[u8], cfg: &Lz77Config) -> Vec<u8> {
     out
 }
 
+/// Default decode output budget: a corrupted length field may not demand
+/// more than this many bytes (callers with tighter limits use
+/// [`decompress_with_limit`]).
+pub const DEFAULT_MAX_OUTPUT: u64 = 1 << 31;
+
 /// Decompress a frame produced by [`compress`].
 pub fn decompress(bytes: &[u8]) -> Result<Vec<u8>, LosslessError> {
+    decompress_with_limit(bytes, DEFAULT_MAX_OUTPUT)
+}
+
+/// Decompress with an explicit output-byte budget: a declared length above
+/// `max_output` is rejected as [`LosslessError::WorkBudgetExceeded`] before
+/// the output vector (which is resized to the declared length) is touched.
+pub fn decompress_with_limit(bytes: &[u8], max_output: u64) -> Result<Vec<u8>, LosslessError> {
     if bytes.len() < 4 || &bytes[..4] != MAGIC {
         return Err(LosslessError::malformed("bad zstd-like magic"));
     }
     let mut pos = 4usize;
-    let orig_len = read_varint(bytes, &mut pos)? as usize;
-    if orig_len > 1 << 31 {
-        return Err(LosslessError::malformed("declared length implausibly large"));
+    let declared = read_varint(bytes, &mut pos)?;
+    if declared > max_output.min(1 << 31) {
+        return Err(LosslessError::WorkBudgetExceeded {
+            demanded: declared,
+            budget: max_output.min(1 << 31),
+        });
     }
+    let orig_len = declared as usize;
     let lit_len = read_varint(bytes, &mut pos)? as usize;
     let lit_end = pos
         .checked_add(lit_len)
@@ -190,6 +208,13 @@ pub fn decompress(bytes: &[u8]) -> Result<Vec<u8>, LosslessError> {
             }
         }
         if out.len() >= orig_len {
+            break;
+        }
+        // A corrupted sequence count can claim up to `orig_len + 1` entries;
+        // once both the command bitstream and the literal pool are dry every
+        // further iteration is a no-op, so stop instead of spinning through
+        // up to 2^31 dead sequences (the fault study's *Timeout* class).
+        if r.remaining() == 0 && lit_cursor >= literals.len() {
             break;
         }
     }

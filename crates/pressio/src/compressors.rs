@@ -308,12 +308,21 @@ impl Compressor for LosslessCompressor {
         bytes: &[u8],
         max_elements: u64,
     ) -> Result<DecodedDataset, PressioError> {
+        // The raw layout is dims framing (≤ ~32 bytes) plus 4 bytes per
+        // element, so the element budget bounds the decompressed size; an
+        // inflated inner length field is rejected before it allocates.
+        let byte_budget = max_elements.saturating_mul(4).saturating_add(64);
         let raw = if self.zstd {
-            arc_lossless::zstd_like::decompress(bytes)
+            arc_lossless::zstd_like::decompress_with_limit(bytes, byte_budget)
         } else {
-            arc_lossless::deflate::decompress(bytes)
+            arc_lossless::deflate::decompress_with_limit(bytes, byte_budget)
         }
-        .map_err(|e| PressioError::Codec(e.to_string()))?;
+        .map_err(|e| match e {
+            arc_lossless::LosslessError::WorkBudgetExceeded { demanded, budget } => {
+                PressioError::Timeout { demanded, budget }
+            }
+            other => PressioError::Codec(other.to_string()),
+        })?;
         if raw.is_empty() {
             return Err(PressioError::Codec("empty payload".into()));
         }
@@ -342,8 +351,14 @@ impl Compressor for LosslessCompressor {
                 raw.len() - pos
             )));
         }
-        let data: Vec<f32> =
-            raw[pos..].chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect();
+        let data: Vec<f32> = raw[pos..]
+            .chunks_exact(4)
+            .map(|c| {
+                let mut b = [0u8; 4];
+                b.copy_from_slice(c);
+                f32::from_le_bytes(b)
+            })
+            .collect();
         Ok(DecodedDataset { data, dims })
     }
 

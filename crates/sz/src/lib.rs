@@ -279,7 +279,11 @@ pub fn decompress_with_limits(bytes: &[u8], limits: &DecodeLimits) -> Result<SzD
         .ok_or_else(|| SzError::Malformed("body length out of range".into()))?;
     let body = if header.final_lossless {
         let _stage = arc_telemetry::span("zstd");
-        arc_lossless::zstd_like::decompress(&bytes[pos..end])?
+        // A legitimate body holds at most ~8 bytes per element (4 code-block
+        // + 4 literal) plus masks and table framing; budget generously so a
+        // corrupt inner length field cannot demand an unbounded allocation.
+        let body_budget = n64.saturating_mul(16).saturating_add(1 << 16);
+        arc_lossless::zstd_like::decompress_with_limit(&bytes[pos..end], body_budget)?
     } else {
         bytes[pos..end].to_vec()
     };
@@ -307,6 +311,14 @@ pub fn decompress_with_limits(bytes: &[u8], limits: &DecodeLimits) -> Result<SzD
     let zero_quantum_code = (mid + 1) as u32;
     codes.resize(n, zero_quantum_code);
     let n_literals = read_varint(&body, &mut bpos)? as usize;
+    // There is one literal per unpredictable element at most; a corrupt
+    // count exceeding the element total is structural damage, and the
+    // byte-length check below stops it from over-reading the body.
+    if n_literals as u64 > n64 {
+        return Err(SzError::Malformed(format!(
+            "literal count {n_literals} exceeds element count {n64}"
+        )));
+    }
     let lit_end = bpos
         .checked_add(
             n_literals
@@ -316,10 +328,10 @@ pub fn decompress_with_limits(bytes: &[u8], limits: &DecodeLimits) -> Result<SzD
         .filter(|&e| e <= body.len())
         .ok_or_else(|| SzError::Malformed("literal section out of range".into()))?;
     let mut literals = Vec::with_capacity(n_literals.min(1 << 22));
-    let mut lp = bpos;
-    while lp < lit_end {
-        literals.push(f32::from_le_bytes(body[lp..lp + 4].try_into().unwrap()));
-        lp += 4;
+    for chunk in body[bpos..lit_end].chunks_exact(4) {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(chunk);
+        literals.push(f32::from_le_bytes(b));
     }
     bpos = lit_end;
     let (zero_mask, sign_mask) = if header.log_domain {

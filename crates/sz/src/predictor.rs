@@ -271,7 +271,9 @@ impl Predictor {
     #[inline]
     fn predict_lorenzo2(&self, recon: &[f64], idx: usize) -> f64 {
         let shape = self.lorenzo.shape();
-        let fastest = *shape.dims.last().expect("validated shape");
+        // Shapes are validated non-empty on construction; an impossible
+        // empty shape degrades to row length 1 rather than panicking.
+        let fastest = shape.dims.last().copied().unwrap_or(1);
         let pos_in_row = idx % fastest;
         if pos_in_row >= 3 {
             3.0 * recon[idx - 1] - 3.0 * recon[idx - 2] + recon[idx - 3]

@@ -64,6 +64,10 @@ impl Header {
     }
 
     /// Parse and validate a header, advancing `pos`.
+    ///
+    /// Total over arbitrary bytes: every field is bounds-checked before the
+    /// slice it names is touched, so corruption surfaces as
+    /// [`SzError::Malformed`], never a panic.
     pub fn read(bytes: &[u8], pos: &mut usize) -> Result<Header, SzError> {
         let need = |n: usize, pos: &usize| -> Result<(), SzError> {
             if *pos + n > bytes.len() {
@@ -86,9 +90,9 @@ impl Header {
         let tag = bytes[*pos];
         *pos += 1;
         need(16, pos)?;
-        let param = f64::from_le_bytes(bytes[*pos..*pos + 8].try_into().unwrap());
+        let param = le_f64(bytes, *pos);
         *pos += 8;
-        let abs_eb = f64::from_le_bytes(bytes[*pos..*pos + 8].try_into().unwrap());
+        let abs_eb = le_f64(bytes, *pos);
         *pos += 8;
         let bound = ErrorBound::from_tag(tag, param)?;
         if !abs_eb.is_finite() || abs_eb <= 0.0 {
@@ -135,6 +139,17 @@ impl Header {
         let _ = product;
         Ok(Header { bound, abs_eb, log_domain, dims, quant_bins, final_lossless, predictor })
     }
+}
+
+/// Clamped little-endian `f64` load: bytes past the end read as zero.
+/// Callers bounds-check first (`need`), so the clamp is defense in depth
+/// rather than format semantics.
+fn le_f64(bytes: &[u8], pos: usize) -> f64 {
+    let mut b = [0u8; 8];
+    if let Some(src) = bytes.get(pos..pos + 8) {
+        b.copy_from_slice(src);
+    }
+    f64::from_le_bytes(b)
 }
 
 #[cfg(test)]

@@ -232,12 +232,18 @@ fn encode_one_block(
     let coeffs = stages.transform.time(|| forward_block(blk, emax, d));
     match mode {
         ZfpMode::FixedRate(_) => {
-            let budget = rate_budget.expect("rate budget present in rate mode");
+            let Some(budget) = rate_budget else {
+                return Err(ZfpError::Malformed("rate budget absent in rate mode".into()));
+            };
             let header = 2 + EMAX_BITS as u64 + KFIELD_BITS as u64;
             w.write_bits(FLAG_NORMAL, 2);
             w.write_bits((emax + EMAX_BIAS) as u64, EMAX_BITS);
             w.write_bits(coeffs.kmax as u64, KFIELD_BITS);
-            stages.embed.time(|| encode_planes(&coeffs.nb, coeffs.kmax, 0, budget - header, w));
+            // A rate low enough that the block header exhausts the budget
+            // leaves zero plane bits; saturate rather than underflow.
+            stages.embed.time(|| {
+                encode_planes(&coeffs.nb, coeffs.kmax, 0, budget.saturating_sub(header), w)
+            });
             Ok(())
         }
         ZfpMode::FixedAccuracy(tol) => {
@@ -312,7 +318,7 @@ pub fn decompress_with_limits(bytes: &[u8], limits: &DecodeLimits) -> Result<Zfp
     let tag = bytes[5];
     let mut pos = 6usize;
     need(8, pos)?;
-    let param = f64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap());
+    let param = le_f64(bytes, pos);
     pos += 8;
     let mode = ZfpMode::from_tag(tag, param)?;
     need(1, pos)?;
@@ -380,12 +386,21 @@ pub fn decompress_with_limits(bytes: &[u8], limits: &DecodeLimits) -> Result<Zfp
 fn skip_to(r: &mut BitReader<'_>, target: u64) -> Result<(), ZfpError> {
     while r.bit_pos() < target {
         let step = (target - r.bit_pos()).min(64).min(r.remaining()) as u32;
-        if step == 0 {
+        if step == 0 || r.read_bits(step).is_err() {
             break; // exhausted: remaining blocks decode as zeros
         }
-        r.read_bits(step).expect("step bounded by remaining");
     }
     Ok(())
+}
+
+/// Clamped little-endian `f64` load: bytes past the end read as zero.
+/// Callers bounds-check first (`need`), so the clamp is defense in depth.
+fn le_f64(bytes: &[u8], pos: usize) -> f64 {
+    let mut b = [0u8; 8];
+    if let Some(src) = bytes.get(pos..pos + 8) {
+        b.copy_from_slice(src);
+    }
+    f64::from_le_bytes(b)
 }
 
 fn decode_one_block(
@@ -419,7 +434,10 @@ fn decode_one_block(
             match mode {
                 ZfpMode::FixedRate(_) => {
                     let header = 2 + EMAX_BITS as u64 + KFIELD_BITS as u64;
-                    let budget = rate_budget.expect("rate budget") - header;
+                    // A corrupted rate can imply a per-block budget smaller
+                    // than the header it just read; saturate to zero plane
+                    // bits instead of underflowing.
+                    let budget = rate_budget.unwrap_or(0).saturating_sub(header);
                     decode_planes(&mut nb, kmax, 0, budget, r)?;
                 }
                 ZfpMode::FixedAccuracy(_) => {

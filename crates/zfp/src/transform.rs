@@ -80,7 +80,12 @@ pub fn fwd_transform(block: &mut [i64], d: usize) {
                 fwd_lift(block, col, 4);
             }
         }
-        3 => {
+        // Dimensionality is validated to 1..=3 upstream; the 3-D lifting is
+        // the catch-all so an impossible value cannot panic mid-decode.
+        _ => {
+            if block.len() < 64 {
+                return;
+            }
             // Along fastest axis (x), then y, then z.
             for z in 0..4 {
                 for y in 0..4 {
@@ -98,7 +103,6 @@ pub fn fwd_transform(block: &mut [i64], d: usize) {
                 }
             }
         }
-        _ => unreachable!("dimensionality validated upstream"),
     }
 }
 
@@ -114,7 +118,12 @@ pub fn inv_transform(block: &mut [i64], d: usize) {
                 inv_lift(block, row * 4, 1);
             }
         }
-        3 => {
+        // Dimensionality is validated to 1..=3 upstream; the 3-D lifting is
+        // the catch-all so an impossible value cannot panic mid-decode.
+        _ => {
+            if block.len() < 64 {
+                return;
+            }
             for y in 0..4 {
                 for x in 0..4 {
                     inv_lift(block, y * 4 + x, 16);
@@ -131,7 +140,6 @@ pub fn inv_transform(block: &mut [i64], d: usize) {
                 }
             }
         }
-        _ => unreachable!("dimensionality validated upstream"),
     }
 }
 

@@ -18,6 +18,11 @@
 # The gate fails on any violation beyond lint-baseline.json and on stale
 # baseline entries; regenerate with scripts/lint_baseline.sh after paying
 # debt down.
+#
+# Optional: set ARC_SKIP_HOSTILE=1 to skip the hostile-input sweep (on by
+# default). The sweep mutates every golden stream (bit flips, truncations,
+# length inflation, header/garbage splices) and fails on any decode panic,
+# hang, or over-budget allocation; see DESIGN.md §11.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -36,6 +41,11 @@ cargo test -q
 
 echo "==> workspace tests: cargo test --workspace -q"
 cargo test --workspace -q
+
+if [[ "${ARC_SKIP_HOSTILE:-0}" != "1" ]]; then
+    echo "==> hostile-input sweep: cargo run --release -q -p arc-bench --bin hostile_corpus"
+    cargo run --release -q -p arc-bench --bin hostile_corpus
+fi
 
 if [[ "${ARC_SKIP_LINT:-0}" != "1" ]]; then
     echo "==> arc-lint: cargo run -q -p arc-lint -- --deny --strict-baseline"
