@@ -2,10 +2,17 @@
 //!
 //! Measures encode (`encode_into`), clean in-place decode
 //! (`decode_in_place`), and decode with correctable corruption for every
-//! built-in scheme at 1 thread and all available threads
-//! (`available_parallelism`, recorded as `max_threads`; the two coincide on
-//! a single-core machine), then prints a JSON document (hand-rolled — the
-//! repo takes no serde dependency).
+//! built-in scheme across a thread sweep of {1, 2, max}
+//! (`available_parallelism`, recorded as `max_threads`; duplicate points
+//! are collapsed, so a single-core machine still exercises the 2-thread
+//! pool path), then prints a JSON document (hand-rolled — the repo takes
+//! no serde dependency).
+//!
+//! A `"range"` section times random access over a v2 sharded container:
+//! `decode_range` of one shard-sized slice against a full decode of the
+//! same container, through a cold reader each rep so the shard cache never
+//! hides decode work. `range_speedup` (full / range) is the partial-read
+//! win `scripts/bench_ecc.sh` regression-gates.
 //!
 //! Single-thread rows also carry a per-stage breakdown of the encode path
 //! (`stage_copy_s` for the data memcpy, `stage_parity_s` for the per-chunk
@@ -68,9 +75,32 @@ fn corrupt_decode_secs(codec: &ParallelCodec, template: &[u8], data_len: usize) 
     (total - copy).max(f64::MIN_POSITIVE)
 }
 
+/// Time the range-read path: best-of-reps `decode_range` of one
+/// shard-sized slice vs a full `arc_engine_decode`, both over the same v2
+/// container. Returns `(full_s, range_s)`.
+fn range_probe(data: &[u8], shard_size: usize) -> (f64, f64) {
+    let config = arc_ecc::EccConfig::secded(true);
+    let encoded =
+        arc_core::arc_engine_encode_sharded(data, config, 1, shard_size).expect("v2 encode");
+    // Slice in the middle, aligned to nothing in particular.
+    let offset = data.len() / 2 + 37;
+    let len = shard_size / 2;
+    let full = best_secs(|| {
+        arc_core::arc_engine_decode(&encoded, 1).expect("full decode");
+    });
+    let range = best_secs(|| {
+        // Cold reader, zero cache: every rep pays real per-shard decode.
+        let mut reader = arc_core::ArcReader::with_cache_capacity(&encoded, 1, 0).expect("reader");
+        reader.decode_range(offset, len).expect("range decode");
+    });
+    (full, range)
+}
+
 fn main() {
     let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let thread_points = if max_threads > 1 { vec![1, max_threads] } else { vec![1] };
+    let mut thread_points = vec![1, 2, max_threads];
+    thread_points.sort_unstable();
+    thread_points.dedup();
 
     let mut entries = Vec::new();
     for (name, config) in scaling_schemes() {
@@ -169,12 +199,29 @@ fn main() {
         }
     }
 
+    let range_data = probe(PROBE_BYTES);
+    let shard_size = PROBE_BYTES / 16;
+    let (full_s, range_s) = range_probe(&range_data, shard_size);
+
     println!("{{");
     println!("  \"bench\": \"ecc_throughput\",");
     println!("  \"unit\": \"MiB/s\",");
     println!("  \"reps\": {REPS},");
     println!("  \"max_threads\": {max_threads},");
     println!("  \"inject_errors\": {INJECT_ERRORS},");
+    println!(
+        concat!(
+            "  \"range\": {{\"bytes\": {}, \"shard_size\": {}, \"slice_len\": {}, ",
+            "\"full_decode_s\": {:.6e}, \"range_decode_s\": {:.6e}, ",
+            "\"range_speedup\": {:.2}}},"
+        ),
+        PROBE_BYTES,
+        shard_size,
+        shard_size / 2,
+        full_s,
+        range_s,
+        full_s / range_s
+    );
     println!("  \"results\": [");
     println!("{}", entries.join(",\n"));
     println!("  ]");

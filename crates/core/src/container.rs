@@ -8,28 +8,76 @@
 //! stored **twice**; the 2-byte codeword-length prefix is stored three
 //! times and majority-voted.
 //!
+//! Two container versions share the magic and the hardened header:
+//!
+//! **v1 — monolithic** (version byte `1`): the payload is one
+//! chunk-parallel ECC encoding of the user's byte array.
+//!
 //! ```text
-//! ┌────────────┬───────────────┬───────────────┬─────────────┐
+//! ┌─────────────┬───────────────┬───────────────┬─────────────┐
 //! │ len ×3 (u16)│ header RS cw  │ header RS cw  │   payload   │
-//! └────────────┴───────────────┴───────────────┴─────────────┘
+//! └─────────────┴───────────────┴───────────────┴─────────────┘
 //! ```
 //!
-//! The payload is the chunk-parallel ECC encoding of the user's byte array
-//! (`arc_ecc::ParallelCodec`). The header additionally carries a CRC-32 of
-//! the *original* data, giving end-to-end detection even for damage an ECC
-//! scheme can miss.
+//! **v2 — sharded** (version byte `2`): the payload is split into
+//! fixed-size shards, each independently ECC'd and independently
+//! decodable, followed by a shard index that is RS-protected and stored
+//! **three** times (bytewise majority vote as the last resort). The index
+//! is the highest-consequence metadata in the container — losing it means
+//! losing random access for every shard — so it gets strictly harder
+//! protection than the bulk payload, the same discipline the header
+//! already follows.
+//!
+//! ```text
+//! ┌─────────────┬───────────┬───────────┬────────────────┬─────────┬─────────┬─────────┐
+//! │ len ×3 (u16)│ header cw │ header cw │ shard payloads │ index ×1│ index ×2│ index ×3│
+//! └─────────────┴───────────┴───────────┴────────────────┴─────────┴─────────┴─────────┘
+//! ```
+//!
+//! The header additionally carries a CRC-32 of the *original* data, giving
+//! end-to-end detection even for damage an ECC scheme can miss; v2 adds a
+//! per-shard CRC-32 to the index so each shard is end-to-end checkable on
+//! its own, which is what makes `decode_range` trustworthy without
+//! touching the rest of the container.
 
 use arc_ecc::crc::crc32;
-use arc_ecc::{EccConfig, RsCodeword};
+use arc_ecc::{EccScheme, ParallelCodec, RsCodeword};
+
+use arc_ecc::EccConfig;
 
 use crate::error::ArcError;
 
 /// Container magic.
 pub const MAGIC: &[u8; 4] = b"ARC1";
-/// Container format version.
+/// Container format version for monolithic (v1) containers.
 pub const VERSION: u8 = 1;
+/// Container format version for sharded (v2) containers.
+pub const VERSION_SHARDED: u8 = 2;
 /// Parity symbols protecting the header codeword.
 pub const HEADER_NSYM: usize = 32;
+/// Parity symbols protecting each RS codeword of the shard index.
+pub const INDEX_NSYM: usize = 32;
+/// Default shard size for the sharded encode paths (4 MiB): small enough
+/// that a tile read touches a sliver of a large field, large enough that
+/// per-shard index overhead stays negligible.
+pub const DEFAULT_SHARD_SIZE: usize = 4 << 20;
+
+/// Serialized size of one shard-index entry: offset `u64`, encoded length
+/// `u32`, decoded length `u32`, CRC-32 `u32`, scheme slot `u8` (reserved,
+/// always 0 — every v2 container currently uses one scheme for all
+/// shards).
+const INDEX_ENTRY_BYTES: usize = 21;
+
+/// Sharding parameters carried by a v2 header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardingMeta {
+    /// Decoded bytes per shard (every shard but the last holds exactly
+    /// this many; the last holds the remainder).
+    pub shard_size: usize,
+    /// Length in bytes of ONE RS-encoded copy of the shard index; three
+    /// copies follow the payload back to back.
+    pub index_len: usize,
+}
 
 /// Decoded header contents.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,6 +94,8 @@ pub struct ContainerMeta {
     pub payload_len: usize,
     /// CRC-32 of the original data (end-to-end check).
     pub data_crc: u32,
+    /// Sharding parameters; `None` for monolithic v1 containers.
+    pub sharding: Option<ShardingMeta>,
 }
 
 impl ContainerMeta {
@@ -55,16 +105,73 @@ impl ContainerMeta {
     }
 }
 
+/// One shard's entry in the v2 index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardEntry {
+    /// Byte offset of the shard's encoded region within the payload.
+    pub offset: usize,
+    /// Encoded (ECC'd) length of the shard in bytes.
+    pub encoded_len: usize,
+    /// Decoded (original) length of the shard in bytes.
+    pub decoded_len: usize,
+    /// CRC-32 of the shard's original bytes (per-shard end-to-end check).
+    pub crc: u32,
+}
+
+/// The recovered v2 shard index.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShardIndex {
+    /// Entries in payload order; offsets are contiguous from 0.
+    pub entries: Vec<ShardEntry>,
+}
+
+impl ShardIndex {
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Cumulative decoded start offset of every shard (monotone,
+    /// `entries.len()` values). Shard `i` holds decoded bytes
+    /// `starts[i] .. starts[i] + entries[i].decoded_len`.
+    pub fn decoded_starts(&self) -> Vec<usize> {
+        let mut starts = Vec::with_capacity(self.entries.len());
+        let mut pos = 0usize;
+        for e in &self.entries {
+            starts.push(pos);
+            pos += e.decoded_len;
+        }
+        starts
+    }
+}
+
+/// How the shard index was recovered during [`unpack`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IndexRepair {
+    /// Index bytes repaired by the RS codewords of the winning copy.
+    pub symbols_corrected: usize,
+    /// Which of the three copies decoded (0-based); meaningless when
+    /// `majority_voted` is set.
+    pub copy_used: usize,
+    /// True when no single copy decoded and the bytewise majority vote of
+    /// all three copies was needed.
+    pub majority_voted: bool,
+}
+
 fn serialize_header(meta: &ContainerMeta) -> Vec<u8> {
     let id = &meta.scheme_id;
-    let mut out = Vec::with_capacity(40 + id.len());
+    let mut out = Vec::with_capacity(56 + id.len());
     out.extend_from_slice(MAGIC);
-    out.push(VERSION);
+    out.push(if meta.sharding.is_some() { VERSION_SHARDED } else { VERSION });
     out.push(id.len() as u8);
     out.extend_from_slice(id.as_bytes());
     out.extend_from_slice(&(meta.chunk_size as u64).to_le_bytes());
     out.extend_from_slice(&(meta.data_len as u64).to_le_bytes());
     out.extend_from_slice(&(meta.payload_len as u64).to_le_bytes());
+    if let Some(sh) = &meta.sharding {
+        out.extend_from_slice(&(sh.shard_size as u64).to_le_bytes());
+        out.extend_from_slice(&(sh.index_len as u64).to_le_bytes());
+    }
     out.extend_from_slice(&meta.data_crc.to_le_bytes());
     out
 }
@@ -74,11 +181,13 @@ fn parse_header(bytes: &[u8]) -> Result<ContainerMeta, ArcError> {
     if bytes.len() < 6 || &bytes[..4] != MAGIC {
         return Err(bad("bad magic"));
     }
-    if bytes[4] != VERSION {
+    let version = bytes[4];
+    if version != VERSION && version != VERSION_SHARDED {
         return Err(bad("unsupported version"));
     }
+    let sharded = version == VERSION_SHARDED;
     let id_len = bytes[5] as usize;
-    let fixed = 6 + id_len + 8 + 8 + 8 + 4;
+    let fixed = 6 + id_len + 8 + 8 + 8 + if sharded { 8 + 8 } else { 0 } + 4;
     if bytes.len() < fixed {
         return Err(bad("truncated"));
     }
@@ -101,11 +210,24 @@ fn parse_header(bytes: &[u8]) -> Result<ContainerMeta, ArcError> {
     let chunk_size = read_u64(bytes) as usize;
     let data_len = read_u64(bytes) as usize;
     let payload_len = read_u64(bytes) as usize;
+    let sharding = if sharded {
+        let shard_size = read_u64(bytes) as usize;
+        let index_len = read_u64(bytes) as usize;
+        if shard_size == 0 {
+            return Err(bad("zero shard size"));
+        }
+        if index_len == 0 {
+            return Err(bad("zero index length"));
+        }
+        Some(ShardingMeta { shard_size, index_len })
+    } else {
+        None
+    };
     let data_crc = le_u32(bytes, pos);
     if chunk_size == 0 {
         return Err(bad("zero chunk size"));
     }
-    Ok(ContainerMeta { scheme_id, chunk_size, data_len, payload_len, data_crc })
+    Ok(ContainerMeta { scheme_id, chunk_size, data_len, payload_len, data_crc, sharding })
 }
 
 /// Clamped little-endian `u64` load: bytes past the end read as zero. The
@@ -140,11 +262,12 @@ fn le_u16(bytes: &[u8], pos: usize) -> u16 {
 /// Size of the container framing for `meta` — the triplicated length
 /// prefix plus both header codewords — i.e. the byte offset at which the
 /// payload begins. A pure function of the header fields, so callers can
-/// allocate `header_len(meta) + meta.payload_len` up front and scatter-write
-/// the whole container into it.
+/// allocate `header_len(meta) + meta.payload_len` (plus three index
+/// copies for v2) up front and scatter-write the whole container into it.
 pub fn header_len(meta: &ContainerMeta) -> usize {
-    // serialize_header: magic 4 + version 1 + id-len byte 1 + id + 3×u64 + crc 4.
-    let header = 34 + meta.scheme_id.len();
+    // serialize_header: magic 4 + version 1 + id-len byte 1 + id + 3×u64
+    // + crc 4, plus shard_size/index_len u64s for sharded containers.
+    let header = 34 + meta.scheme_id.len() + if meta.sharding.is_some() { 16 } else { 0 };
     6 + 2 * (header + HEADER_NSYM)
 }
 
@@ -186,11 +309,167 @@ pub fn write_header(meta: &ContainerMeta, out: &mut [u8]) -> Result<(), ArcError
     Ok(())
 }
 
+/// Serialize the shard index to its raw (pre-RS) byte form:
+/// `count u64 ‖ entries (21 B each) ‖ CRC-32` of everything preceding.
+fn serialize_index(entries: &[ShardEntry]) -> Vec<u8> {
+    let mut raw = Vec::with_capacity(12 + entries.len() * INDEX_ENTRY_BYTES);
+    raw.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+    for e in entries {
+        raw.extend_from_slice(&(e.offset as u64).to_le_bytes());
+        raw.extend_from_slice(&(e.encoded_len as u32).to_le_bytes());
+        raw.extend_from_slice(&(e.decoded_len as u32).to_le_bytes());
+        raw.extend_from_slice(&e.crc.to_le_bytes());
+        raw.push(0); // scheme slot, reserved
+    }
+    let crc = crc32(&raw);
+    raw.extend_from_slice(&crc.to_le_bytes());
+    raw
+}
+
+/// RS-protect a raw index: split into maximal messages and encode each as
+/// its own codeword. The encoded length is a pure function of the raw
+/// length (and vice versa), so no extra framing is needed.
+fn rs_index_encode(raw: &[u8]) -> Result<Vec<u8>, ArcError> {
+    let Ok(rs) = RsCodeword::new(INDEX_NSYM) else {
+        return Err(ArcError::InvalidRequest("index RS codeword unavailable".into()));
+    };
+    let msg = rs.max_message_len();
+    let mut out = Vec::with_capacity(raw.len() + raw.len().div_ceil(msg) * INDEX_NSYM);
+    for chunk in raw.chunks(msg) {
+        out.extend_from_slice(&rs.encode(chunk));
+    }
+    Ok(out)
+}
+
+/// Attempt to RS-decode one copy of the index. Returns the raw bytes and
+/// the number of symbols repaired, or `None` when any codeword is beyond
+/// repair (the caller falls through to the next copy / the majority vote).
+fn rs_index_decode(encoded: &[u8]) -> Option<(Vec<u8>, usize)> {
+    let rs = RsCodeword::new(INDEX_NSYM).ok()?;
+    let cw = rs.max_message_len() + INDEX_NSYM;
+    let tail = encoded.len() % cw;
+    if encoded.is_empty() || (tail != 0 && tail <= INDEX_NSYM) {
+        return None;
+    }
+    let mut raw = Vec::with_capacity(encoded.len());
+    let mut fixed = 0usize;
+    for chunk in encoded.chunks(cw) {
+        let (msg, f) = rs.decode(chunk).ok()?;
+        raw.extend_from_slice(&msg);
+        fixed += f;
+    }
+    Some((raw, fixed))
+}
+
+/// Parse and validate a raw index against the (already RS-verified)
+/// header fields. Everything here is pure arithmetic on small integers;
+/// all sums use checked arithmetic so hostile values cannot wrap.
+fn parse_index(raw: &[u8], meta: &ContainerMeta) -> Result<ShardIndex, ArcError> {
+    let bad = |d: &str| ArcError::Corrupted(format!("shard index: {d}"));
+    if raw.len() < 12 {
+        return Err(bad("shorter than its framing"));
+    }
+    let count = le_u64(raw, 0) as usize;
+    let expect = count
+        .checked_mul(INDEX_ENTRY_BYTES)
+        .and_then(|n| n.checked_add(12))
+        .ok_or_else(|| bad("entry count overflows"))?;
+    if raw.len() != expect {
+        return Err(bad("length disagrees with entry count"));
+    }
+    if le_u32(raw, raw.len() - 4) != crc32(&raw[..raw.len() - 4]) {
+        return Err(bad("CRC mismatch"));
+    }
+    let sharding = meta.sharding.ok_or_else(|| bad("index present on an unsharded container"))?;
+    let mut entries = Vec::with_capacity(count);
+    let mut next_offset = 0usize;
+    let mut total_decoded = 0usize;
+    for i in 0..count {
+        let base = 8 + i * INDEX_ENTRY_BYTES;
+        let offset = le_u64(raw, base) as usize;
+        let encoded_len = le_u32(raw, base + 8) as usize;
+        let decoded_len = le_u32(raw, base + 12) as usize;
+        let crc = le_u32(raw, base + 16);
+        if raw[base + 20] != 0 {
+            return Err(bad("unknown per-shard scheme slot"));
+        }
+        if offset != next_offset {
+            return Err(bad("shard offsets not contiguous"));
+        }
+        if decoded_len == 0 || decoded_len > sharding.shard_size {
+            return Err(bad("shard decoded length out of range"));
+        }
+        if encoded_len < decoded_len {
+            return Err(bad("shard encoded length below decoded length"));
+        }
+        next_offset =
+            offset.checked_add(encoded_len).ok_or_else(|| bad("shard offsets overflow"))?;
+        total_decoded = total_decoded
+            .checked_add(decoded_len)
+            .ok_or_else(|| bad("decoded lengths overflow"))?;
+        entries.push(ShardEntry { offset, encoded_len, decoded_len, crc });
+    }
+    if next_offset != meta.payload_len {
+        return Err(bad("encoded lengths disagree with payload length"));
+    }
+    if total_decoded != meta.data_len {
+        return Err(bad("decoded lengths disagree with data length"));
+    }
+    Ok(ShardIndex { entries })
+}
+
+/// Recover the shard index from its three copies: first copy whose RS
+/// codewords decode *and* whose contents validate wins; if none does, a
+/// bitwise 2-of-3 majority vote across the copies gets one final attempt.
+fn recover_index(
+    copies: [&[u8]; 3],
+    meta: &ContainerMeta,
+) -> Result<(ShardIndex, IndexRepair), ArcError> {
+    for (copy_used, copy) in copies.iter().enumerate() {
+        if let Some((raw, symbols_corrected)) = rs_index_decode(copy) {
+            if let Ok(index) = parse_index(&raw, meta) {
+                if copy_used > 0 {
+                    arc_telemetry::counter_add("core.index.copy_fallback", 1);
+                }
+                arc_telemetry::counter_add(
+                    "core.index.symbols_corrected",
+                    symbols_corrected as u64,
+                );
+                return Ok((
+                    index,
+                    IndexRepair { symbols_corrected, copy_used, majority_voted: false },
+                ));
+            }
+        }
+    }
+    // Bitwise triple-modular-redundancy vote: each output bit is the
+    // majority of the three copies' bits, which repairs any damage that
+    // never hits the same bit in two copies.
+    let voted: Vec<u8> = (0..copies[0].len())
+        .map(|i| {
+            (copies[0][i] & copies[1][i])
+                | (copies[0][i] & copies[2][i])
+                | (copies[1][i] & copies[2][i])
+        })
+        .collect();
+    if let Some((raw, symbols_corrected)) = rs_index_decode(&voted) {
+        if let Ok(index) = parse_index(&raw, meta) {
+            arc_telemetry::counter_add("core.index.majority_voted", 1);
+            return Ok((
+                index,
+                IndexRepair { symbols_corrected, copy_used: 0, majority_voted: true },
+            ));
+        }
+    }
+    Err(ArcError::Corrupted("shard index unrecoverable in all three copies".into()))
+}
+
 /// Assemble a container around an encoded payload.
 ///
 /// Convenience wrapper over [`header_len`] + [`write_header`]; the zero-copy
 /// encode paths skip it and scatter-write the payload directly after the
-/// reserved header prefix.
+/// reserved header prefix. Produces monolithic (v1) containers only — the
+/// sharded path is [`encode_sharded`].
 pub fn pack(meta: &ContainerMeta, payload: &[u8]) -> Result<Vec<u8>, ArcError> {
     debug_assert_eq!(meta.payload_len, payload.len());
     let hlen = header_len(meta);
@@ -200,12 +479,70 @@ pub fn pack(meta: &ContainerMeta, payload: &[u8]) -> Result<Vec<u8>, ArcError> {
     Ok(out)
 }
 
+/// Encode `data` into a v2 sharded container: every `shard_size`-byte
+/// slice of the input becomes an independently ECC'd, independently
+/// decodable shard, described by an RS-protected, triplicated index.
+///
+/// Allocates the whole container once and scatter-writes header, shard
+/// payloads (via [`ParallelCodec::encode_sharded_into`], one pool pass
+/// over all shards' chunks), and all three index copies in place.
+pub fn encode_sharded<S: EccScheme>(
+    data: &[u8],
+    codec: &ParallelCodec<S>,
+    scheme_id: &str,
+    shard_size: usize,
+) -> Result<Vec<u8>, ArcError> {
+    if shard_size == 0 {
+        return Err(ArcError::InvalidRequest("shard size must be >= 1".into()));
+    }
+    let mut entries = Vec::with_capacity(data.len().div_ceil(shard_size.max(1)));
+    let mut offset = 0usize;
+    for shard in data.chunks(shard_size) {
+        let encoded_len = codec.encoded_len(shard.len());
+        if encoded_len > u32::MAX as usize || shard.len() > u32::MAX as usize {
+            return Err(ArcError::InvalidRequest(format!(
+                "shard of {} bytes overflows the index's u32 length fields",
+                shard.len()
+            )));
+        }
+        entries.push(ShardEntry {
+            offset,
+            encoded_len,
+            decoded_len: shard.len(),
+            crc: crc32(shard),
+        });
+        offset = offset
+            .checked_add(encoded_len)
+            .ok_or_else(|| ArcError::InvalidRequest("payload length overflows".into()))?;
+    }
+    let payload_len = offset;
+    let index = rs_index_encode(&serialize_index(&entries))?;
+    let meta = ContainerMeta {
+        scheme_id: scheme_id.to_string(),
+        chunk_size: codec.chunk_size(),
+        data_len: data.len(),
+        payload_len,
+        data_crc: crc32(data),
+        sharding: Some(ShardingMeta { shard_size, index_len: index.len() }),
+    };
+    let hlen = header_len(&meta);
+    let mut out = vec![0u8; hlen + payload_len + 3 * index.len()];
+    write_header(&meta, &mut out[..hlen])?;
+    codec.encode_sharded_into(data, shard_size, &mut out[hlen..hlen + payload_len])?;
+    for copy in out[hlen + payload_len..].chunks_mut(index.len()) {
+        copy.copy_from_slice(&index);
+    }
+    Ok(out)
+}
+
 /// Result of unpacking a container.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Unpacked<'a> {
     /// Parsed header.
     pub meta: ContainerMeta,
-    /// The (still ECC-encoded) payload region.
+    /// The (still ECC-encoded) payload region. For v2 containers this is
+    /// exactly the shard payloads — the index copies that follow are
+    /// already digested into `index`.
     pub payload: &'a [u8],
     /// Byte offset of the payload region within the container, so in-place
     /// decoders can re-borrow it mutably from the original buffer.
@@ -215,9 +552,13 @@ pub struct Unpacked<'a> {
     pub used_backup_header: bool,
     /// Header bytes repaired by the RS codeword.
     pub header_symbols_corrected: usize,
+    /// The recovered shard index (v2 containers only).
+    pub index: Option<ShardIndex>,
+    /// How the shard index was recovered (all-zero for v1 containers).
+    pub index_repair: IndexRepair,
 }
 
-/// Parse and repair a container produced by [`pack`].
+/// Parse and repair a container produced by [`pack`] or [`encode_sharded`].
 pub fn unpack(bytes: &[u8]) -> Result<Unpacked<'_>, ArcError> {
     if bytes.len() < 6 {
         return Err(ArcError::Corrupted("container shorter than its length prefix".into()));
@@ -252,6 +593,8 @@ pub fn unpack(bytes: &[u8]) -> Result<Unpacked<'_>, ArcError> {
                         payload_offset: 6 + 2 * len,
                         used_backup_header: used_backup,
                         header_symbols_corrected: fixed,
+                        index: None,
+                        index_repair: IndexRepair::default(),
                     });
                 }
             }
@@ -260,14 +603,51 @@ pub fn unpack(bytes: &[u8]) -> Result<Unpacked<'_>, ArcError> {
     };
     let candidates: Vec<u16> = if voted != 0 { vec![voted] } else { lens.to_vec() };
     for len in candidates {
-        if let Some(u) = try_len(len) {
-            // Final consistency check against the buffer we actually have.
-            if u.payload.len() != u.meta.payload_len {
-                return Err(ArcError::Corrupted(format!(
-                    "payload region {} bytes but header declares {}",
-                    u.payload.len(),
-                    u.meta.payload_len
-                )));
+        if let Some(mut u) = try_len(len) {
+            match u.meta.sharding {
+                None => {
+                    // Final consistency check against the buffer we have.
+                    if u.payload.len() != u.meta.payload_len {
+                        return Err(ArcError::Corrupted(format!(
+                            "payload region {} bytes but header declares {}",
+                            u.payload.len(),
+                            u.meta.payload_len
+                        )));
+                    }
+                }
+                Some(sh) => {
+                    // v2: the region after the header is payload plus three
+                    // index copies, and the total must match *exactly* —
+                    // checked arithmetic so hostile header values (already
+                    // RS-verified, but belt and braces) cannot wrap, and
+                    // checked *before* any index-sized allocation so a
+                    // corrupt length cannot demand memory.
+                    let expect =
+                        sh.index_len.checked_mul(3).and_then(|i| u.meta.payload_len.checked_add(i));
+                    let Some(expect) = expect else {
+                        return Err(ArcError::Corrupted(
+                            "header: payload/index lengths overflow".into(),
+                        ));
+                    };
+                    if u.payload.len() != expect {
+                        return Err(ArcError::Corrupted(format!(
+                            "sharded region {} bytes but header declares {} payload + 3×{} index",
+                            u.payload.len(),
+                            u.meta.payload_len,
+                            sh.index_len
+                        )));
+                    }
+                    let istart = u.payload_offset + u.meta.payload_len;
+                    let copies = [
+                        &bytes[istart..istart + sh.index_len],
+                        &bytes[istart + sh.index_len..istart + 2 * sh.index_len],
+                        &bytes[istart + 2 * sh.index_len..istart + 3 * sh.index_len],
+                    ];
+                    let (index, repair) = recover_index(copies, &u.meta)?;
+                    u.payload = &bytes[u.payload_offset..u.payload_offset + u.meta.payload_len];
+                    u.index = Some(index);
+                    u.index_repair = repair;
+                }
             }
             return Ok(u);
         }
@@ -291,6 +671,7 @@ mod tests {
             data_len: 123_456,
             payload_len: 64,
             data_crc: 0xDEADBEEF,
+            sharding: None,
         }
     }
 
@@ -304,6 +685,7 @@ mod tests {
         assert_eq!(u.payload, &payload[..]);
         assert!(!u.used_backup_header);
         assert_eq!(u.header_symbols_corrected, 0);
+        assert!(u.index.is_none());
     }
 
     #[test]
@@ -420,5 +802,146 @@ mod tests {
             let u = unpack(&packed).unwrap();
             assert_eq!(u.meta.builtin_config(), Some(config));
         }
+    }
+
+    // ---- v2 sharded containers ----------------------------------------
+
+    fn sample(n: usize) -> Vec<u8> {
+        (0..n).map(|i| ((i * 37) ^ (i >> 5)) as u8).collect()
+    }
+
+    fn v2_container(data: &[u8], shard_size: usize) -> Vec<u8> {
+        let codec = ParallelCodec::with_chunk_size(EccConfig::secded(true), 1, 4 << 10).unwrap();
+        encode_sharded(data, &codec, &EccConfig::secded(true).id(), shard_size).unwrap()
+    }
+
+    #[test]
+    fn sharded_header_round_trips() {
+        let m = ContainerMeta {
+            sharding: Some(ShardingMeta { shard_size: 4 << 20, index_len: 987 }),
+            ..meta()
+        };
+        let header = serialize_header(&m);
+        assert_eq!(header[4], VERSION_SHARDED);
+        let parsed = parse_header(&header).unwrap();
+        assert_eq!(parsed, m);
+    }
+
+    #[test]
+    fn sharded_unpack_recovers_index() {
+        let data = sample(50_000);
+        let packed = v2_container(&data, 16 << 10);
+        let u = unpack(&packed).unwrap();
+        let index = u.index.expect("v2 container has an index");
+        assert_eq!(index.shard_count(), data.len().div_ceil(16 << 10));
+        assert_eq!(u.payload.len(), u.meta.payload_len);
+        assert_eq!(u.index_repair, IndexRepair::default());
+        let starts = index.decoded_starts();
+        assert_eq!(starts[0], 0);
+        assert_eq!(
+            starts.last().copied().unwrap() + index.entries.last().unwrap().decoded_len,
+            data.len()
+        );
+        // Per-shard CRCs match the original slices.
+        for (e, start) in index.entries.iter().zip(&starts) {
+            assert_eq!(e.crc, crc32(&data[*start..*start + e.decoded_len]));
+        }
+    }
+
+    #[test]
+    fn sharded_index_survives_one_destroyed_copy() {
+        let data = sample(40_000);
+        let packed = v2_container(&data, 8 << 10);
+        let u = unpack(&packed).unwrap();
+        let sh = u.meta.sharding.unwrap();
+        let istart = u.payload_offset + u.meta.payload_len;
+        // Destroy the entire first index copy.
+        let mut bad = packed.clone();
+        for b in &mut bad[istart..istart + sh.index_len] {
+            *b = 0xAA;
+        }
+        let r = unpack(&bad).unwrap();
+        assert_eq!(r.index, u.index);
+        assert_eq!(r.index_repair.copy_used, 1);
+        assert!(!r.index_repair.majority_voted);
+    }
+
+    #[test]
+    fn sharded_index_majority_vote_rescues_three_damaged_copies() {
+        let data = sample(40_000);
+        let packed = v2_container(&data, 8 << 10);
+        let u = unpack(&packed).unwrap();
+        let sh = u.meta.sharding.unwrap();
+        let istart = u.payload_offset + u.meta.payload_len;
+        // Damage every copy beyond its own RS repair (nsym/2 = 16 bytes
+        // per codeword), but at copy-distinct positions so the bitwise
+        // vote still sees two clean copies of every byte.
+        let mut bad = packed.clone();
+        for copy in 0..3 {
+            let base = istart + copy * sh.index_len;
+            for i in 0..20 {
+                bad[base + (copy + 3 * i) % sh.index_len] ^= 0xFF;
+            }
+        }
+        let r = unpack(&bad).unwrap();
+        assert_eq!(r.index, u.index);
+        assert!(r.index_repair.majority_voted);
+    }
+
+    #[test]
+    fn sharded_truncation_is_detected_at_every_boundary() {
+        let data = sample(10_000);
+        let packed = v2_container(&data, 4 << 10);
+        for cut in 1..=64 {
+            let short = &packed[..packed.len() - cut];
+            assert!(unpack(short).is_err(), "cut {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn sharded_empty_data_round_trips() {
+        let packed = v2_container(&[], 4 << 10);
+        let u = unpack(&packed).unwrap();
+        assert_eq!(u.meta.data_len, 0);
+        assert_eq!(u.index.unwrap().shard_count(), 0);
+    }
+
+    #[test]
+    fn sharded_zero_shard_size_rejected() {
+        let codec = ParallelCodec::new(EccConfig::secded(true), 1).unwrap();
+        assert!(matches!(
+            encode_sharded(&[1, 2, 3], &codec, "secded:64", 0),
+            Err(ArcError::InvalidRequest(_))
+        ));
+    }
+
+    #[test]
+    fn index_rejects_tampered_entry() {
+        let data = sample(30_000);
+        let packed = v2_container(&data, 8 << 10);
+        let u = unpack(&packed).unwrap();
+        let sh = u.meta.sharding.unwrap();
+        let istart = u.payload_offset + u.meta.payload_len;
+        // Flip the same raw byte in all three copies *and* regenerate
+        // nothing — RS + CRC must refuse the forged geometry rather than
+        // serve a wrong index.
+        let mut bad = packed.clone();
+        for copy in 0..3 {
+            let base = istart + copy * sh.index_len;
+            for b in &mut bad[base..base + 40] {
+                *b ^= 0x5A;
+            }
+        }
+        assert!(unpack(&bad).is_err());
+    }
+
+    #[test]
+    fn v1_and_v2_header_lens_differ_by_sharding_fields() {
+        let v1 = meta();
+        let v2 = ContainerMeta {
+            sharding: Some(ShardingMeta { shard_size: 1 << 20, index_len: 44 }),
+            ..meta()
+        };
+        assert_eq!(header_len(&v2), header_len(&v1) + 32); // 2 copies × 16 bytes
     }
 }

@@ -32,6 +32,7 @@ pub fn arc_engine_encode(
         data_len: data.len(),
         payload_len: codec.encoded_len(data.len()),
         data_crc: container::data_crc(data),
+        sharding: None,
     };
     let hlen = container::header_len(&meta);
     let mut out = vec![0u8; hlen + meta.payload_len];
@@ -46,6 +47,35 @@ pub fn arc_engine_decode(
     threads: usize,
 ) -> Result<(Vec<u8>, ArcDecodeReport), ArcError> {
     decode_with_threads(bytes, threads)
+}
+
+/// Encode into a v2 **sharded** container: each `shard_size`-byte slice of
+/// `data` is independently ECC'd and independently decodable, enabling
+/// [`arc_engine_decode_range`] / [`crate::reader::ArcReader`] to serve a
+/// byte range at per-shard cost. `arc_engine_encode` keeps producing
+/// monolithic v1 containers; both decode through the same entry points.
+pub fn arc_engine_encode_sharded(
+    data: &[u8],
+    config: EccConfig,
+    threads: usize,
+    shard_size: usize,
+) -> Result<Vec<u8>, ArcError> {
+    let codec = ParallelCodec::with_chunk_size(config, threads, DEFAULT_CHUNK_SIZE)?;
+    container::encode_sharded(data, &codec, &config.id(), shard_size)
+}
+
+/// Random-access decode: return `offset..offset + len` of the original
+/// data, touching only the shards that cover the range (v1 containers
+/// fall back to a single-shard full decode). Opens a fresh
+/// [`crate::reader::ArcReader`] per call; hold a reader for repeat reads.
+pub fn arc_engine_decode_range(
+    bytes: &[u8],
+    offset: usize,
+    len: usize,
+    threads: usize,
+) -> Result<(Vec<u8>, crate::reader::RangeReport), ArcError> {
+    let mut reader = crate::reader::ArcReader::open(bytes, threads)?;
+    reader.decode_range(offset, len)
 }
 
 fn decode_expecting(

@@ -123,6 +123,7 @@ pub fn encode_with_scheme(
         data_len: data.len(),
         payload_len: codec.encoded_len(data.len()),
         data_crc: container::data_crc(data),
+        sharding: None,
     };
     let hlen = container::header_len(&meta);
     let mut out = vec![0u8; hlen + meta.payload_len];
@@ -150,6 +151,14 @@ pub fn decode_with_registry(
             meta.scheme_id
         ))
     })?;
+    // No encode path produces sharded extension containers; refuse rather
+    // than guess at per-shard semantics for an unknown scheme.
+    if unpacked.index.is_some() {
+        return Err(ArcError::InvalidRequest(format!(
+            "sharded (v2) containers are not supported for extension scheme {:?}",
+            meta.scheme_id
+        )));
+    }
     // Bound data_len by the real payload before any codec length
     // arithmetic can see it (see interface::decode_with_threads).
     if meta.data_len > unpacked.payload.len() {
@@ -177,6 +186,7 @@ pub fn decode_with_registry(
             correction,
             used_backup_header: unpacked.used_backup_header,
             header_symbols_corrected: unpacked.header_symbols_corrected,
+            index_repair: None,
         },
     ))
 }

@@ -80,6 +80,8 @@ pub struct ArcDecodeReport {
     pub used_backup_header: bool,
     /// Header bytes the RS codeword repaired.
     pub header_symbols_corrected: usize,
+    /// How the shard index was recovered (v2 sharded containers only).
+    pub index_repair: Option<container::IndexRepair>,
 }
 
 /// An initialized ARC instance.
@@ -189,6 +191,7 @@ impl ArcContext {
             data_len: data.len(),
             payload_len: codec.encoded_len(data.len()),
             data_crc: container::data_crc(data),
+            sharding: None,
         };
         let hlen = container::header_len(&meta);
         let mut out = vec![0u8; hlen + meta.payload_len];
@@ -210,10 +213,64 @@ impl ArcContext {
         Ok(out)
     }
 
+    /// As [`ArcContext::encode`], but producing a v2 **sharded** container
+    /// at [`container::DEFAULT_SHARD_SIZE`]: the optimizer picks the
+    /// scheme, and the result supports random access via
+    /// [`ArcContext::decode_range`] / [`crate::reader::ArcReader`].
+    pub fn encode_sharded(
+        &self,
+        data: &[u8],
+        request: &EncodeRequest,
+    ) -> Result<(Vec<u8>, Selection), ArcError> {
+        let selection = self.select(request)?;
+        let out = self.encode_sharded_with(
+            data,
+            selection.config,
+            selection.threads,
+            container::DEFAULT_SHARD_SIZE,
+        )?;
+        Ok((out, selection))
+    }
+
+    /// Engine-level sharded encode with an explicit configuration, thread
+    /// count, and shard size. `threads` follows the same cap rules as
+    /// [`ArcContext::encode_with`].
+    pub fn encode_sharded_with(
+        &self,
+        data: &[u8],
+        config: EccConfig,
+        threads: usize,
+        shard_size: usize,
+    ) -> Result<Vec<u8>, ArcError> {
+        let _span = arc_telemetry::span("core.encode");
+        let cap = self.max_threads.max(1);
+        let threads = if threads == ANY_THREADS { cap } else { threads.min(cap) };
+        let codec = ParallelCodec::with_chunk_size(config, threads, self.chunk_size)?;
+        container::encode_sharded(data, &codec, &config.id(), shard_size)
+    }
+
     /// `arc_decode()`: verify, repair if needed, and return the original
     /// byte array — or raise when the damage is uncorrectable (Fig 7b).
     pub fn decode(&self, bytes: &[u8]) -> Result<(Vec<u8>, ArcDecodeReport), ArcError> {
         decode_with_threads(bytes, self.max_threads)
+    }
+
+    /// Random-access `arc_decode()`: decode only `offset..offset + len` of
+    /// the original data, touching (and ECC-verifying) exactly the shards
+    /// that cover the range. Works on v2 sharded containers at per-shard
+    /// cost and on v1 containers as a single-shard full decode.
+    ///
+    /// Each call opens a fresh [`crate::reader::ArcReader`]; callers
+    /// issuing many reads against one container should hold their own
+    /// reader, whose LRU shard cache makes repeat reads cheap.
+    pub fn decode_range(
+        &self,
+        bytes: &[u8],
+        offset: usize,
+        len: usize,
+    ) -> Result<(Vec<u8>, crate::reader::RangeReport), ArcError> {
+        let mut reader = crate::reader::ArcReader::open(bytes, self.max_threads)?;
+        reader.decode_range(offset, len)
     }
 
     /// Zero-copy `arc_decode()`: repair the container's payload where it
@@ -285,9 +342,15 @@ pub fn decode_with_threads(
         )));
     }
     let codec = ParallelCodec::with_chunk_size(config, threads, meta.chunk_size)?;
-    let mut data = unpacked.payload.to_vec();
-    let correction = codec.decode_in_place(&mut data, meta.data_len)?;
-    data.truncate(meta.data_len);
+    let (data, correction) = match &unpacked.index {
+        Some(index) => decode_sharded_payload(&codec, unpacked.payload, index, meta.data_len)?,
+        None => {
+            let mut data = unpacked.payload.to_vec();
+            let correction = codec.decode_in_place(&mut data, meta.data_len)?;
+            data.truncate(meta.data_len);
+            (data, correction)
+        }
+    };
     if container::data_crc(&data) != meta.data_crc {
         return Err(ArcError::Ecc(arc_ecc::EccError::Uncorrectable {
             scheme: config.name(),
@@ -302,8 +365,73 @@ pub fn decode_with_threads(
             correction,
             used_backup_header: unpacked.used_backup_header,
             header_symbols_corrected: unpacked.header_symbols_corrected,
+            index_repair: unpacked.index.as_ref().map(|_| unpacked.index_repair),
         },
     ))
+}
+
+/// Decode every shard of a v2 payload into a fresh buffer, verifying each
+/// shard's own CRC as it lands. The index has already been RS-verified,
+/// but the per-shard geometry is still cross-checked against the codec so
+/// a forged index can never drive out-of-contract length arithmetic.
+fn decode_sharded_payload(
+    codec: &ParallelCodec<EccConfig>,
+    payload: &[u8],
+    index: &container::ShardIndex,
+    data_len: usize,
+) -> Result<(Vec<u8>, CorrectionReport), ArcError> {
+    let mut data = vec![0u8; data_len];
+    let mut merged = CorrectionReport::default();
+    let mut scratch: Vec<u8> = Vec::new();
+    let mut out_pos = 0usize;
+    for (i, e) in index.entries.iter().enumerate() {
+        check_shard_geometry(codec, e, i)?;
+        let region = payload
+            .get(e.offset..e.offset + e.encoded_len)
+            .ok_or_else(|| ArcError::Corrupted(format!("shard {i}: region exceeds payload")))?;
+        scratch.clear();
+        scratch.extend_from_slice(region);
+        let report = codec.decode_shard_in_place(&mut scratch, e.decoded_len)?;
+        verify_shard_crc(codec, &scratch[..e.decoded_len], e.crc, i)?;
+        data[out_pos..out_pos + e.decoded_len].copy_from_slice(&scratch[..e.decoded_len]);
+        out_pos += e.decoded_len;
+        merged.merge(&report);
+    }
+    Ok((data, merged))
+}
+
+/// A shard entry whose encoded length disagrees with the scheme's own
+/// arithmetic is corrupt (the index is CRC+RS protected, so this is
+/// defense in depth, not a hot path).
+pub(crate) fn check_shard_geometry(
+    codec: &ParallelCodec<EccConfig>,
+    e: &container::ShardEntry,
+    shard: usize,
+) -> Result<(), ArcError> {
+    if e.encoded_len != codec.encoded_len(e.decoded_len) {
+        return Err(ArcError::Corrupted(format!(
+            "shard {shard}: encoded length {} inconsistent with scheme (expected {})",
+            e.encoded_len,
+            codec.encoded_len(e.decoded_len)
+        )));
+    }
+    Ok(())
+}
+
+/// Per-shard end-to-end check, the sharded analogue of the whole-data CRC.
+pub(crate) fn verify_shard_crc(
+    codec: &ParallelCodec<EccConfig>,
+    decoded: &[u8],
+    expect: u32,
+    shard: usize,
+) -> Result<(), ArcError> {
+    if container::data_crc(decoded) != expect {
+        return Err(ArcError::Ecc(arc_ecc::EccError::Uncorrectable {
+            scheme: codec.config().name(),
+            detail: format!("shard {shard}: end-to-end CRC mismatch after ECC decode"),
+        }));
+    }
+    Ok(())
 }
 
 /// Zero-copy standalone decode: verify and repair the container's payload
@@ -318,13 +446,15 @@ pub fn decode_in_place_with_threads(
     threads: usize,
 ) -> Result<(std::ops::Range<usize>, ArcDecodeReport), ArcError> {
     let _span = arc_telemetry::span("core.decode");
-    let (meta, payload_offset, used_backup_header, header_symbols_corrected) = {
+    let (meta, payload_offset, used_backup_header, header_symbols_corrected, index, index_repair) = {
         let unpacked = container::unpack(bytes)?;
         (
             unpacked.meta,
             unpacked.payload_offset,
             unpacked.used_backup_header,
             unpacked.header_symbols_corrected,
+            unpacked.index,
+            unpacked.index_repair,
         )
     };
     let config = meta.builtin_config().ok_or_else(|| {
@@ -344,9 +474,33 @@ pub fn decode_in_place_with_threads(
         )));
     }
     let codec = ParallelCodec::with_chunk_size(config, threads, meta.chunk_size)?;
-    let payload = &mut bytes[payload_offset..];
-    let correction = codec.decode_in_place(payload, meta.data_len)?;
-    let data = &payload[..meta.data_len];
+    let correction = match &index {
+        Some(index) => {
+            // v2: repair every shard where it lies, then compact the
+            // decoded prefixes left so the original data ends up
+            // contiguous right after the header. Each destination start
+            // never exceeds its source start (decoded ≤ encoded bytes,
+            // cumulatively), so the overlapping copies are forward-safe.
+            let payload = &mut bytes[payload_offset..payload_offset + meta.payload_len];
+            let mut merged = CorrectionReport::default();
+            let mut out_pos = 0usize;
+            for (i, e) in index.entries.iter().enumerate() {
+                check_shard_geometry(&codec, e, i)?;
+                let region = &mut payload[e.offset..e.offset + e.encoded_len];
+                let report = codec.decode_shard_in_place(region, e.decoded_len)?;
+                verify_shard_crc(&codec, &region[..e.decoded_len], e.crc, i)?;
+                payload.copy_within(e.offset..e.offset + e.decoded_len, out_pos);
+                out_pos += e.decoded_len;
+                merged.merge(&report);
+            }
+            merged
+        }
+        None => {
+            let payload = &mut bytes[payload_offset..];
+            codec.decode_in_place(payload, meta.data_len)?
+        }
+    };
+    let data = &bytes[payload_offset..payload_offset + meta.data_len];
     if container::data_crc(data) != meta.data_crc {
         return Err(ArcError::Ecc(arc_ecc::EccError::Uncorrectable {
             scheme: config.name(),
@@ -361,6 +515,7 @@ pub fn decode_in_place_with_threads(
             correction,
             used_backup_header,
             header_symbols_corrected,
+            index_repair: index.as_ref().map(|_| index_repair),
         },
     ))
 }

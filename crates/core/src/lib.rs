@@ -54,17 +54,22 @@ pub mod extension;
 pub mod failure;
 pub mod interface;
 pub mod optimizer;
+pub mod reader;
 pub mod training;
 
 pub use constraints::{
     EncodeRequest, ErrorResponse, MemoryConstraint, ResiliencyConstraint, ThroughputConstraint,
     BURST_RATE_THRESHOLD,
 };
-pub use container::{ContainerMeta, Unpacked};
+pub use container::{
+    ContainerMeta, IndexRepair, ShardEntry, ShardIndex, ShardingMeta, Unpacked, DEFAULT_SHARD_SIZE,
+    VERSION_SHARDED,
+};
 pub use engine::{
-    arc_engine_decode, arc_engine_encode, arc_hamming_decode, arc_hamming_encode,
-    arc_parity_decode, arc_parity_encode, arc_reed_solomon_decode, arc_reed_solomon_encode,
-    arc_secded_decode, arc_secded_encode, ENGINE_FUNCTIONS,
+    arc_engine_decode, arc_engine_decode_range, arc_engine_encode, arc_engine_encode_sharded,
+    arc_hamming_decode, arc_hamming_encode, arc_parity_decode, arc_parity_encode,
+    arc_reed_solomon_decode, arc_reed_solomon_encode, arc_secded_decode, arc_secded_encode,
+    ENGINE_FUNCTIONS,
 };
 pub use error::{ArcError, DecodeError};
 pub use extension::{decode_with_registry, encode_with_scheme, ExtensionRegistry};
@@ -75,6 +80,7 @@ pub use interface::{
 pub use optimizer::{
     joint_optimizer, joint_optimizer_with, memory_optimizer, throughput_optimizer, Selection,
 };
+pub use reader::{ArcReader, CacheStats, RangeReport, DEFAULT_CACHE_CAPACITY};
 pub use training::{
     probe_buffer, thread_ladder, train, Measurement, TrainingOptions, TrainingStats, TrainingTable,
 };

@@ -1,0 +1,489 @@
+//! Random-access reads over ARC containers: [`ArcReader`] borrows a
+//! container and serves `decode_range(offset, len)` requests by touching
+//! only the shards that cover the range.
+//!
+//! Every shard a read touches is copied out of the borrowed container,
+//! ECC-verified/corrected by the same [`ParallelCodec`] machinery the full
+//! decode uses, and checked against its per-shard CRC-32 before a single
+//! byte is returned — a range read gives the same end-to-end guarantee as
+//! a full `arc_decode()`, just scoped to the shards it needed. Decoded
+//! shards are kept in a bounded **LRU cache** (capacity in bytes), so a
+//! tile-server access pattern — many small reads with locality — pays the
+//! ECC cost once per shard, not once per read.
+//!
+//! Monolithic v1 containers open too: they are presented as a single
+//! synthetic shard covering the whole payload, so `decode_range` stays
+//! correct (the first read performs the one full decode, later reads hit
+//! the cache).
+
+use std::collections::HashMap;
+
+use arc_ecc::codec::CorrectionReport;
+use arc_ecc::{EccConfig, ParallelCodec};
+
+use crate::container::{self, ContainerMeta, IndexRepair, ShardEntry};
+use crate::error::ArcError;
+use crate::interface::{check_shard_geometry, verify_shard_crc};
+
+/// Default shard-cache capacity (64 MiB of decoded shards).
+pub const DEFAULT_CACHE_CAPACITY: usize = 64 << 20;
+
+/// Counters for the reader's decoded-shard cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Range-read shard lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to decode the shard.
+    pub misses: u64,
+    /// Decoded shards evicted to stay under the byte capacity.
+    pub evictions: u64,
+    /// Decoded bytes currently resident.
+    pub resident_bytes: usize,
+    /// Configured capacity in bytes.
+    pub capacity: usize,
+}
+
+/// What one [`ArcReader::decode_range`] call did.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RangeReport {
+    /// Shards overlapping the requested range.
+    pub shards_touched: usize,
+    /// Of those, how many were served from the cache.
+    pub cache_hits: usize,
+    /// Encoded payload bytes actually run through the ECC decoder by this
+    /// call (0 when every shard was cached). The partial-read win is this
+    /// number staying far below the container's payload length.
+    pub encoded_bytes_decoded: usize,
+    /// Repairs performed while decoding the touched shards.
+    pub correction: CorrectionReport,
+}
+
+/// Bounded byte-capacity LRU of decoded shards.
+///
+/// Recency is a monotonic tick stamped on every hit/insert; eviction scans
+/// for the minimum tick. The scan is O(resident shards), which is small by
+/// construction (capacity / shard size), so no intrusive list is needed.
+#[derive(Debug)]
+struct ShardCache {
+    capacity: usize,
+    resident: usize,
+    tick: u64,
+    slots: HashMap<usize, (u64, Vec<u8>)>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl ShardCache {
+    fn new(capacity: usize) -> ShardCache {
+        ShardCache {
+            capacity,
+            resident: 0,
+            tick: 0,
+            slots: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// If `shard` is resident, refresh its recency, append `lo..hi` of its
+    /// decoded bytes to `out`, and return true. Counts the hit/miss.
+    fn copy_range(&mut self, shard: usize, lo: usize, hi: usize, out: &mut Vec<u8>) -> bool {
+        self.tick += 1;
+        match self.slots.get_mut(&shard) {
+            Some((tick, data)) => {
+                *tick = self.tick;
+                out.extend_from_slice(&data[lo.min(data.len())..hi.min(data.len())]);
+                self.hits += 1;
+                arc_telemetry::counter_add("core.shard_cache.hits", 1);
+                true
+            }
+            None => {
+                self.misses += 1;
+                arc_telemetry::counter_add("core.shard_cache.misses", 1);
+                false
+            }
+        }
+    }
+
+    /// Insert a decoded shard, evicting least-recently-used shards until
+    /// the byte budget holds. A shard larger than the whole capacity is
+    /// not cached at all (the caller has already used its bytes).
+    fn insert(&mut self, shard: usize, data: Vec<u8>) {
+        if data.len() > self.capacity {
+            return;
+        }
+        self.tick += 1;
+        if let Some((_, old)) = self.slots.insert(shard, (self.tick, data.clone())) {
+            // Re-inserting an evicted-then-decoded shard is the common
+            // case; replacing a live one only happens if the caller races
+            // itself, but keep the byte accounting exact regardless.
+            self.resident -= old.len();
+        }
+        self.resident += data.len();
+        while self.resident > self.capacity {
+            let victim = self
+                .slots
+                .iter()
+                .filter(|(k, _)| **k != shard)
+                .min_by_key(|(_, (tick, _))| *tick)
+                .map(|(k, _)| *k);
+            let Some(victim) = victim else { break };
+            if let Some((_, evicted)) = self.slots.remove(&victim) {
+                self.resident -= evicted.len();
+                self.evictions += 1;
+                arc_telemetry::counter_add("core.shard_cache.evictions", 1);
+            }
+        }
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            resident_bytes: self.resident,
+            capacity: self.capacity,
+        }
+    }
+}
+
+/// A random-access handle over one ARC container.
+///
+/// Borrows the container bytes; decoding is per-shard and lazy. Repeat
+/// reads are served from the LRU shard cache. The reader is `&mut self`
+/// because reads mutate the cache — clone the underlying bytes into
+/// multiple readers for concurrent access.
+pub struct ArcReader<'a> {
+    bytes: &'a [u8],
+    meta: ContainerMeta,
+    entries: Vec<ShardEntry>,
+    starts: Vec<usize>,
+    payload_offset: usize,
+    codec: ParallelCodec<EccConfig>,
+    cache: ShardCache,
+    index_repair: IndexRepair,
+    sharded: bool,
+}
+
+impl std::fmt::Debug for ArcReader<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArcReader")
+            .field("scheme_id", &self.meta.scheme_id)
+            .field("data_len", &self.meta.data_len)
+            .field("shards", &self.entries.len())
+            .field("sharded", &self.sharded)
+            .finish()
+    }
+}
+
+impl<'a> ArcReader<'a> {
+    /// Open a container for random access with the default cache capacity
+    /// ([`DEFAULT_CACHE_CAPACITY`]). `threads` accepts
+    /// [`arc_ecc::parallel::ANY_THREADS`] (0) for "all available cores";
+    /// parallelism applies within each decoded shard's chunks.
+    pub fn open(bytes: &'a [u8], threads: usize) -> Result<ArcReader<'a>, ArcError> {
+        Self::with_cache_capacity(bytes, threads, DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// As [`ArcReader::open`] with an explicit decoded-shard cache
+    /// capacity in bytes (0 disables caching).
+    pub fn with_cache_capacity(
+        bytes: &'a [u8],
+        threads: usize,
+        capacity: usize,
+    ) -> Result<ArcReader<'a>, ArcError> {
+        let unpacked = container::unpack(bytes)?;
+        let meta = unpacked.meta;
+        let config = meta.builtin_config().ok_or_else(|| {
+            ArcError::InvalidRequest(format!(
+                "random access requires a built-in scheme; container uses {:?}",
+                meta.scheme_id
+            ))
+        })?;
+        if meta.data_len > unpacked.payload.len() {
+            return Err(ArcError::Corrupted(format!(
+                "declared data length {} exceeds payload length {}",
+                meta.data_len,
+                unpacked.payload.len()
+            )));
+        }
+        let codec = ParallelCodec::with_chunk_size(config, threads, meta.chunk_size)?;
+        let (entries, sharded) = match unpacked.index {
+            Some(index) => (index.entries, true),
+            None => {
+                // v1 fallback: one synthetic shard spanning the payload,
+                // end-to-end-checked by the container's whole-data CRC.
+                let entries = if meta.data_len == 0 && meta.payload_len == 0 {
+                    Vec::new()
+                } else {
+                    vec![ShardEntry {
+                        offset: 0,
+                        encoded_len: meta.payload_len,
+                        decoded_len: meta.data_len,
+                        crc: meta.data_crc,
+                    }]
+                };
+                (entries, false)
+            }
+        };
+        let mut starts = Vec::with_capacity(entries.len());
+        let mut pos = 0usize;
+        for e in &entries {
+            starts.push(pos);
+            pos += e.decoded_len;
+        }
+        Ok(ArcReader {
+            bytes,
+            index_repair: unpacked.index_repair,
+            payload_offset: unpacked.payload_offset,
+            meta,
+            entries,
+            starts,
+            codec,
+            cache: ShardCache::new(capacity),
+            sharded,
+        })
+    }
+
+    /// The container's parsed header.
+    pub fn meta(&self) -> &ContainerMeta {
+        &self.meta
+    }
+
+    /// Original data length in bytes.
+    pub fn data_len(&self) -> usize {
+        self.meta.data_len
+    }
+
+    /// Number of independently decodable shards (1 for v1 containers).
+    pub fn shard_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True for v2 sharded containers, false for the v1 fallback.
+    pub fn is_sharded(&self) -> bool {
+        self.sharded
+    }
+
+    /// How the shard index was recovered at open (all-zero for v1).
+    pub fn index_repair(&self) -> IndexRepair {
+        self.index_repair
+    }
+
+    /// Cache counters so far.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Decode exactly `offset..offset + len` of the original data.
+    ///
+    /// Touches only the shards covering the range; each is served from the
+    /// LRU cache or ECC-decoded + CRC-verified on the spot. The empty
+    /// range is valid anywhere in `0..=data_len`.
+    pub fn decode_range(
+        &mut self,
+        offset: usize,
+        len: usize,
+    ) -> Result<(Vec<u8>, RangeReport), ArcError> {
+        let _span = arc_telemetry::span("core.decode_range");
+        arc_telemetry::counter_add("core.range.requests", 1);
+        arc_telemetry::counter_add("core.range.bytes_requested", len as u64);
+        let end = offset
+            .checked_add(len)
+            .ok_or_else(|| ArcError::InvalidRequest("range end overflows".into()))?;
+        if end > self.meta.data_len {
+            return Err(ArcError::InvalidRequest(format!(
+                "range {offset}..{end} exceeds data length {}",
+                self.meta.data_len
+            )));
+        }
+        let mut out = Vec::with_capacity(len);
+        let mut report = RangeReport::default();
+        if len == 0 {
+            return Ok((out, report));
+        }
+        // First covering shard: the last one starting at or before offset.
+        let mut i = self.starts.partition_point(|s| *s <= offset).saturating_sub(1);
+        while i < self.entries.len() && out.len() < len {
+            let e = self.entries[i];
+            let start = self.starts[i];
+            // Overlap of [offset, end) with this shard, in shard-local bytes.
+            let lo = offset.max(start) - start;
+            let hi = end.min(start + e.decoded_len) - start;
+            report.shards_touched += 1;
+            if self.cache.copy_range(i, lo, hi, &mut out) {
+                report.cache_hits += 1;
+            } else {
+                let (decoded, correction) = self.decode_shard(i, &e)?;
+                out.extend_from_slice(&decoded[lo..hi]);
+                report.encoded_bytes_decoded += e.encoded_len;
+                report.correction.merge(&correction);
+                self.cache.insert(i, decoded);
+            }
+            i += 1;
+        }
+        arc_telemetry::counter_add("core.range.shards_touched", report.shards_touched as u64);
+        arc_telemetry::counter_add(
+            "core.range.encoded_bytes_decoded",
+            report.encoded_bytes_decoded as u64,
+        );
+        Ok((out, report))
+    }
+
+    /// Decode one shard out of the borrowed container into a fresh buffer,
+    /// repairing and CRC-verifying it.
+    fn decode_shard(
+        &self,
+        i: usize,
+        e: &ShardEntry,
+    ) -> Result<(Vec<u8>, CorrectionReport), ArcError> {
+        if self.sharded {
+            check_shard_geometry(&self.codec, e, i)?;
+        }
+        let payload = &self.bytes[self.payload_offset..self.payload_offset + self.meta.payload_len];
+        let region = payload
+            .get(e.offset..e.offset + e.encoded_len)
+            .ok_or_else(|| ArcError::Corrupted(format!("shard {i}: region exceeds payload")))?;
+        let mut buf = region.to_vec();
+        let correction = self.codec.decode_shard_in_place(&mut buf, e.decoded_len)?;
+        buf.truncate(e.decoded_len);
+        verify_shard_crc(&self.codec, &buf, e.crc, i)?;
+        Ok((buf, correction))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{arc_engine_encode, arc_engine_encode_sharded};
+
+    fn sample(n: usize) -> Vec<u8> {
+        (0..n).map(|i| ((i * 131) ^ (i >> 3)) as u8).collect()
+    }
+
+    fn v2(data: &[u8], shard_size: usize) -> Vec<u8> {
+        arc_engine_encode_sharded(data, EccConfig::secded(true), 1, shard_size).unwrap()
+    }
+
+    #[test]
+    fn range_matches_full_decode_slice() {
+        let data = sample(100_000);
+        let enc = v2(&data, 16 << 10);
+        let mut reader = ArcReader::open(&enc, 1).unwrap();
+        assert!(reader.is_sharded());
+        for (off, len) in
+            [(0usize, 100usize), (16 << 10, 1), (50_000, 33_000), (99_999, 1), (0, 100_000)]
+        {
+            let (out, _) = reader.decode_range(off, len).unwrap();
+            assert_eq!(out, &data[off..off + len], "{off}+{len}");
+        }
+    }
+
+    #[test]
+    fn cache_serves_repeat_reads() {
+        let data = sample(64 << 10);
+        let enc = v2(&data, 8 << 10);
+        let mut reader = ArcReader::open(&enc, 1).unwrap();
+        let (_, first) = reader.decode_range(0, 10_000).unwrap();
+        assert_eq!(first.cache_hits, 0);
+        assert!(first.encoded_bytes_decoded > 0);
+        let (_, second) = reader.decode_range(0, 10_000).unwrap();
+        assert_eq!(second.cache_hits, second.shards_touched);
+        assert_eq!(second.encoded_bytes_decoded, 0);
+        let stats = reader.cache_stats();
+        assert!(stats.hits >= 2 && stats.misses >= 1);
+    }
+
+    #[test]
+    fn tiny_cache_evicts_lru() {
+        let data = sample(64 << 10);
+        let enc = v2(&data, 8 << 10);
+        // Room for exactly one decoded 8 KiB shard.
+        let mut reader = ArcReader::with_cache_capacity(&enc, 1, 8 << 10).unwrap();
+        reader.decode_range(0, 100).unwrap(); // shard 0 resident
+        reader.decode_range(8 << 10, 100).unwrap(); // shard 1 evicts shard 0
+        let (_, third) = reader.decode_range(0, 100).unwrap(); // shard 0 again: miss
+        assert_eq!(third.cache_hits, 0);
+        assert!(reader.cache_stats().evictions >= 1);
+        assert!(reader.cache_stats().resident_bytes <= 8 << 10);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let data = sample(16 << 10);
+        let enc = v2(&data, 4 << 10);
+        let mut reader = ArcReader::with_cache_capacity(&enc, 1, 0).unwrap();
+        reader.decode_range(0, 100).unwrap();
+        let (_, second) = reader.decode_range(0, 100).unwrap();
+        assert_eq!(second.cache_hits, 0);
+        assert_eq!(reader.cache_stats().resident_bytes, 0);
+    }
+
+    #[test]
+    fn v1_container_reads_as_single_shard() {
+        let data = sample(30_000);
+        let enc = arc_engine_encode(&data, EccConfig::secded(true), 1).unwrap();
+        let mut reader = ArcReader::open(&enc, 1).unwrap();
+        assert!(!reader.is_sharded());
+        assert_eq!(reader.shard_count(), 1);
+        let (out, report) = reader.decode_range(10_000, 5_000).unwrap();
+        assert_eq!(out, &data[10_000..15_000]);
+        assert_eq!(report.shards_touched, 1);
+        // Second read is cached — the one full decode already happened.
+        let (_, r2) = reader.decode_range(0, 30_000).unwrap();
+        assert_eq!(r2.cache_hits, 1);
+    }
+
+    #[test]
+    fn empty_range_and_bounds() {
+        let data = sample(10_000);
+        let enc = v2(&data, 4 << 10);
+        let mut reader = ArcReader::open(&enc, 1).unwrap();
+        let (out, report) = reader.decode_range(5_000, 0).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(report.shards_touched, 0);
+        let (out, _) = reader.decode_range(10_000, 0).unwrap();
+        assert!(out.is_empty());
+        assert!(reader.decode_range(10_000, 1).is_err());
+        assert!(reader.decode_range(usize::MAX, 2).is_err());
+    }
+
+    #[test]
+    fn corrupted_shard_is_repaired_and_reported() {
+        let data = sample(64 << 10);
+        let mut enc = v2(&data, 8 << 10);
+        let reader = ArcReader::open(&enc, 1).unwrap();
+        // Flip one bit inside shard 3's encoded region.
+        let e = reader.entries[3];
+        let off = reader.payload_offset + e.offset + 100;
+        drop(reader);
+        enc[off] ^= 0x04;
+        let mut reader = ArcReader::open(&enc, 1).unwrap();
+        let (out, report) = reader.decode_range(3 * (8 << 10) + 50, 200).unwrap();
+        assert_eq!(out, &data[3 * (8 << 10) + 50..3 * (8 << 10) + 250]);
+        assert_eq!(report.correction.corrected_bits, 1);
+    }
+
+    #[test]
+    fn uncorrectable_shard_raises_without_poisoning_others() {
+        let data = sample(64 << 10);
+        let mut enc = v2(&data, 8 << 10);
+        let reader = ArcReader::open(&enc, 1).unwrap();
+        let e = reader.entries[2];
+        let start = reader.payload_offset + e.offset;
+        drop(reader);
+        // Trash half of shard 2 — way beyond SEC-DED's power.
+        for b in &mut enc[start + 1_000..start + 4_000] {
+            *b = 0x77;
+        }
+        let mut reader = ArcReader::open(&enc, 1).unwrap();
+        assert!(reader.decode_range(2 * (8 << 10), 100).is_err());
+        // Other shards still read fine.
+        let (out, _) = reader.decode_range(0, 100).unwrap();
+        assert_eq!(out, &data[..100]);
+        let (out, _) = reader.decode_range(5 * (8 << 10), 100).unwrap();
+        assert_eq!(out, &data[5 * (8 << 10)..5 * (8 << 10) + 100]);
+    }
+}

@@ -36,6 +36,7 @@ proptest! {
             data_len,
             payload_len: payload.len(),
             data_crc: crc,
+            sharding: None,
         };
         let packed = pack(&meta, &payload).unwrap();
         let u = unpack(&packed).unwrap();
@@ -56,6 +57,7 @@ proptest! {
             data_len: 999,
             payload_len: payload.len(),
             data_crc: 0xABCD_1234,
+            sharding: None,
         };
         let packed = pack(&meta, &payload).unwrap();
         let len = u16::from_le_bytes(packed[0..2].try_into().unwrap()) as usize;

@@ -92,6 +92,12 @@ pub struct GoldenStream {
     /// Byte length of the header/metadata region (clamped to the stream
     /// length when attacks are generated).
     pub header_len: usize,
+    /// Byte length of trailing structure (e.g. the triplicated shard index
+    /// of a v2 sharded container); 0 for streams whose metadata all lives
+    /// up front. When non-zero, three extra mutation families attack the
+    /// trailer: truncation at every boundary through it, inflation runs
+    /// inside it, and payload/trailer splices.
+    pub trailer_len: usize,
 }
 
 /// A decode entry point under test. Takes the (possibly corrupt) bytes and
@@ -257,6 +263,16 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 ///    way to blow up length/count fields.
 /// 4. **Splices** — the pristine header followed by garbage bodies
 ///    (zeros, 0xFF, seeded noise) at assorted lengths.
+///
+/// Streams with a non-zero `trailer_len` (v2 sharded containers) get three
+/// more families aimed at the trailing shard index:
+///
+/// 5. **Trailer truncation** — one case per byte boundary through the
+///    trailer, so every partial-index length is exercised.
+/// 6. **Trailer inflation** — 0xFF runs stamped inside the trailer.
+/// 7. **Trailer splices** — pristine payload with a garbage trailer, and
+///    pristine trailer with a garbage payload (the index then points into
+///    noise).
 pub fn mutations(stream: &GoldenStream, cfg: &HostileConfig) -> Vec<(String, Vec<u8>)> {
     let bytes = &stream.bytes;
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ fnv1a(stream.name.as_bytes()));
@@ -309,6 +325,49 @@ pub fn mutations(stream: &GoldenStream, cfg: &HostileConfig) -> Vec<(String, Vec
             _ => buf.extend((0..body_len).map(|_| rng.random::<u8>())),
         }
         cases.push((format!("splice{i}x{body_len}"), buf));
+    }
+
+    // Families 5–7: trailer attacks, only for streams with trailing
+    // structure (the triplicated shard index of a v2 container).
+    let trailer_len = stream.trailer_len.min(bytes.len().saturating_sub(header_end));
+    if trailer_len > 0 {
+        let trailer_start = bytes.len() - trailer_len;
+
+        // Family 5: truncation at every boundary through the trailer.
+        for cut in trailer_start..bytes.len() {
+            cases.push((format!("trunc-tail{cut}"), bytes[..cut].to_vec()));
+        }
+
+        // Family 6: 0xFF runs inside the trailer.
+        for i in 0..cfg.inflations {
+            let run = [3usize, 8, 21][i % 3];
+            let at = trailer_start + rng.random_range(0..trailer_len);
+            let mut buf = bytes.clone();
+            for b in buf.iter_mut().skip(at).take(run) {
+                *b = 0xFF;
+            }
+            cases.push((format!("inflate-tail{i}@{at}x{run}"), buf));
+        }
+
+        // Family 7: payload/trailer splices. Even cases keep the payload
+        // and replace the trailer; odd cases keep the trailer and replace
+        // the payload (a valid-looking index over noise).
+        for i in 0..cfg.splices.max(2) {
+            let mut buf = bytes.clone();
+            let (lo, hi) =
+                if i % 2 == 0 { (trailer_start, bytes.len()) } else { (header_end, trailer_start) };
+            match i % 3 {
+                0 => buf[lo..hi].fill(0),
+                1 => buf[lo..hi].fill(0xFF),
+                _ => {
+                    for b in &mut buf[lo..hi] {
+                        *b = rng.random();
+                    }
+                }
+            }
+            let region = if i % 2 == 0 { "tail" } else { "body" };
+            cases.push((format!("splice-{region}{i}"), buf));
+        }
     }
 
     cases
@@ -406,7 +465,12 @@ pub fn builtin_targets() -> Vec<DecodeTarget> {
     {
         let cfg = arc_sz::SzConfig { bound, ..arc_sz::SzConfig::default() };
         if let Ok(bytes) = arc_sz::compress(&data, &dims, &cfg) {
-            sz_streams.push(GoldenStream { name: label.to_string(), bytes, header_len: 48 });
+            sz_streams.push(GoldenStream {
+                name: label.to_string(),
+                bytes,
+                header_len: 48,
+                trailer_len: 0,
+            });
         }
     }
     targets.push(DecodeTarget {
@@ -427,7 +491,12 @@ pub fn builtin_targets() -> Vec<DecodeTarget> {
         ("zfp-rate", arc_zfp::ZfpMode::FixedRate(8.0)),
     ] {
         if let Ok(bytes) = arc_zfp::compress(&data, &dims, mode) {
-            zfp_streams.push(GoldenStream { name: label.to_string(), bytes, header_len: 32 });
+            zfp_streams.push(GoldenStream {
+                name: label.to_string(),
+                bytes,
+                header_len: 32,
+                trailer_len: 0,
+            });
         }
     }
     targets.push(DecodeTarget {
@@ -450,6 +519,7 @@ pub fn builtin_targets() -> Vec<DecodeTarget> {
             name: "deflate-text".to_string(),
             bytes: arc_lossless::deflate::compress(&text),
             header_len: 64,
+            trailer_len: 0,
         }],
         decode: Arc::new(|b, budget| {
             arc_lossless::deflate::decompress_with_limit(b, budget)
@@ -463,6 +533,7 @@ pub fn builtin_targets() -> Vec<DecodeTarget> {
             name: "zstd-text".to_string(),
             bytes: arc_lossless::zstd_like::compress(&text),
             header_len: 64,
+            trailer_len: 0,
         }],
         decode: Arc::new(|b, budget| {
             arc_lossless::zstd_like::decompress_with_limit(b, budget)
@@ -490,9 +561,37 @@ pub fn builtin_targets() -> Vec<DecodeTarget> {
             let header_len = arc_core::container::unpack(&bytes)
                 .map(|u| bytes.len() - u.payload.len())
                 .unwrap_or(128);
-            container_streams.push(GoldenStream { name: label.to_string(), bytes, header_len });
+            container_streams.push(GoldenStream {
+                name: label.to_string(),
+                bytes,
+                header_len,
+                trailer_len: 0,
+            });
         }
     }
+    // v2 sharded containers: same payload, small shards so the triplicated
+    // trailing index is a meaningful fraction of the stream. `trailer_len`
+    // marks it, enabling the trailer mutation families.
+    let mut sharded_streams = Vec::new();
+    let v2_configs = [
+        ("ecc-secded-v2", Some(arc_ecc::EccConfig::secded(true))),
+        ("ecc-rs-v2", arc_ecc::EccConfig::rs(16, 4).ok()),
+    ];
+    for (label, config) in v2_configs {
+        let Some(config) = config else { continue };
+        if let Ok(bytes) = arc_core::arc_engine_encode_sharded(&payload, config, 1, 2048) {
+            let (header_len, trailer_len) = arc_core::container::unpack(&bytes)
+                .map(|u| (u.payload_offset, u.meta.sharding.map_or(0, |s| 3 * s.index_len)))
+                .unwrap_or((128, 0));
+            sharded_streams.push(GoldenStream {
+                name: label.to_string(),
+                bytes,
+                header_len,
+                trailer_len,
+            });
+        }
+    }
+    container_streams.extend(sharded_streams.iter().cloned());
     targets.push(DecodeTarget {
         name: "container".to_string(),
         streams: container_streams,
@@ -500,6 +599,30 @@ pub fn builtin_targets() -> Vec<DecodeTarget> {
             arc_core::decode_with_threads(b, 1)
                 .map(|(data, _report)| data.len() as u64)
                 .map_err(|e| e.to_string())
+        }),
+    });
+
+    // The random-access reader over the same v2 streams: open + a spread
+    // of range reads (start, middle straddling a shard boundary, end).
+    // Repeats hit the shard cache, so cache paths see hostile bytes too.
+    targets.push(DecodeTarget {
+        name: "container-range".to_string(),
+        streams: sharded_streams,
+        decode: Arc::new(|b, _budget| {
+            let mut reader = arc_core::ArcReader::open(b, 1).map_err(|e| e.to_string())?;
+            let n = reader.data_len();
+            let mut produced = 0u64;
+            let probes = [
+                (0usize, n.min(512)),
+                (n / 2, (n / 3).min(n - n / 2)),
+                (n.saturating_sub(100), n.min(100)),
+                (0, n.min(512)),
+            ];
+            for (off, len) in probes {
+                let (out, _) = reader.decode_range(off, len).map_err(|e| e.to_string())?;
+                produced += out.len() as u64;
+            }
+            Ok(produced)
         }),
     });
 
@@ -514,7 +637,10 @@ mod tests {
     fn corpus_covers_every_decoder() {
         let targets = builtin_targets();
         let names: Vec<&str> = targets.iter().map(|t| t.name.as_str()).collect();
-        assert_eq!(names, vec!["sz", "zfp", "gzip-like", "zstd-like", "container"]);
+        assert_eq!(
+            names,
+            vec!["sz", "zfp", "gzip-like", "zstd-like", "container", "container-range"]
+        );
         for t in &targets {
             assert!(!t.streams.is_empty(), "target {} has no golden streams", t.name);
             for s in &t.streams {
@@ -531,11 +657,48 @@ mod tests {
     }
 
     #[test]
+    fn trailer_families_cover_every_index_boundary() {
+        let bytes: Vec<u8> = (0..600u32).map(|i| (i % 256) as u8).collect();
+        let plain = GoldenStream {
+            name: "plain".to_string(),
+            bytes: bytes.clone(),
+            header_len: 40,
+            trailer_len: 0,
+        };
+        let tailed =
+            GoldenStream { name: "plain".to_string(), bytes, header_len: 40, trailer_len: 96 };
+        let cfg = HostileConfig::quick();
+        let base = mutations(&plain, &cfg);
+        let extra = mutations(&tailed, &cfg);
+        assert!(base.iter().all(|(name, _)| !name.starts_with("trunc-tail")));
+        // One truncation per trailer byte boundary, plus inflations/splices.
+        let tail_cuts = extra.iter().filter(|(name, _)| name.starts_with("trunc-tail")).count();
+        assert_eq!(tail_cuts, 96);
+        assert!(extra.iter().any(|(name, _)| name.starts_with("inflate-tail")));
+        assert!(extra.iter().any(|(name, _)| name.starts_with("splice-tail")));
+        assert!(extra.iter().any(|(name, _)| name.starts_with("splice-body")));
+        assert!(extra.len() > base.len() + 96);
+    }
+
+    #[test]
+    fn v2_streams_carry_trailer_hints() {
+        let targets = builtin_targets();
+        let container = targets.iter().find(|t| t.name == "container").unwrap();
+        let v2: Vec<_> = container.streams.iter().filter(|s| s.name.ends_with("-v2")).collect();
+        assert_eq!(v2.len(), 2, "expected secded+rs v2 streams");
+        for s in v2 {
+            assert!(s.trailer_len > 0, "{} missing trailer_len", s.name);
+            assert!(s.trailer_len < s.bytes.len());
+        }
+    }
+
+    #[test]
     fn mutations_are_deterministic() {
         let stream = GoldenStream {
             name: "det".to_string(),
             bytes: (0..500u32).map(|i| (i % 256) as u8).collect(),
             header_len: 40,
+            trailer_len: 0,
         };
         let cfg = HostileConfig::quick();
         assert_eq!(mutations(&stream, &cfg), mutations(&stream, &cfg));

@@ -26,10 +26,12 @@
 pub mod block;
 pub mod codec;
 pub mod error;
+pub mod shard;
 pub mod transform;
 
 pub use block::Grid;
 pub use error::ZfpError;
+pub use shard::{aligned_shard_size, recommended_shard_size, stream_info};
 
 use arc_lossless::bitio::{read_varint, write_varint, BitReader, BitWriter};
 use codec::{decode_planes, encode_planes, exponent_of, forward_block, inverse_block, K_TOP};

@@ -14,9 +14,15 @@
 #      TELEMETRY_GATE_RETRIES more runs and the best run is judged —
 #      noise only ever *under*states throughput, so max-of-N is sound.
 #
+# A third gate checks the sharded-container random-access win: the fresh
+# run's range_speedup (full decode time / decode_range time for one
+# shard-sized slice of a 16-shard container) must stay at or above
+# MIN_RANGE_SPEEDUP (default 2). A partial read that is not clearly
+# cheaper than a full decode means per-shard decoding broke.
+#
 # Usage: scripts/bench_ecc.sh
 # Optional env: MAX_REGRESS_PCT=20 TELEMETRY_MAX_REGRESS_PCT=2
-#               TELEMETRY_GATE_RETRIES=3
+#               TELEMETRY_GATE_RETRIES=3 MIN_RANGE_SPEEDUP=2
 #
 # Parsing uses grep/sed/awk only (no jq dependency); it keys on the
 # hand-rolled one-object-per-line layout that ecc_baseline emits.
@@ -27,6 +33,7 @@ cd "$(dirname "$0")/.."
 MAX_REGRESS_PCT="${MAX_REGRESS_PCT:-20}"
 TELEMETRY_MAX_REGRESS_PCT="${TELEMETRY_MAX_REGRESS_PCT:-2}"
 TELEMETRY_GATE_RETRIES="${TELEMETRY_GATE_RETRIES:-3}"
+MIN_RANGE_SPEEDUP="${MIN_RANGE_SPEEDUP:-2}"
 BASELINE=BENCH_ecc.json
 
 if [[ ! -f "$BASELINE" ]]; then
@@ -71,6 +78,22 @@ BEGIN {
     }
     printf "OK: fresh %.1f MiB/s >= %.0f%% floor of %.1f MiB/s\n",
         fresh, 100 - pct, floor
+}'
+
+# Random-access gate: decode_range of a shard-sized slice must beat a
+# full decode by at least MIN_RANGE_SPEEDUP.
+range_speedup="$(sed -n 's/.*"range_speedup": \([0-9.]*\).*/\1/p' "$fresh_json" | head -n 1)"
+if [[ -z "$range_speedup" ]]; then
+    echo "error: bench output had no range_speedup field" >&2
+    exit 1
+fi
+awk -v s="$range_speedup" -v floor="$MIN_RANGE_SPEEDUP" '
+BEGIN {
+    if (s < floor) {
+        printf "FAIL: decode_range speedup %.2fx is below the %.1fx floor\n", s, floor
+        exit 1
+    }
+    printf "OK: decode_range speedup %.2fx >= %.1fx floor\n", s, floor
 }'
 
 # Telemetry-off overhead gate: the no-op facade must leave the default

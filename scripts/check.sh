@@ -42,6 +42,9 @@ cargo test -q
 echo "==> workspace tests: cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> shard-geometry properties: cargo test -q -p arc-core --test shard_geometry"
+cargo test -q -p arc-core --test shard_geometry
+
 if [[ "${ARC_SKIP_HOSTILE:-0}" != "1" ]]; then
     echo "==> hostile-input sweep: cargo run --release -q -p arc-bench --bin hostile_corpus"
     cargo run --release -q -p arc-bench --bin hostile_corpus

@@ -60,8 +60,8 @@ pub use arc_telemetry as telemetry;
 pub use arc_zfp as zfp;
 
 pub use arc_core::{
-    decode_with_threads, ArcContext, ArcDecodeReport, ArcError, ArcOptions, EncodeRequest,
-    ErrorResponse, MemoryConstraint, ResiliencyConstraint, Selection, SystemProfile,
-    ThroughputConstraint, TrainingOptions, ANY_THREADS,
+    decode_with_threads, ArcContext, ArcDecodeReport, ArcError, ArcOptions, ArcReader, CacheStats,
+    EncodeRequest, ErrorResponse, MemoryConstraint, RangeReport, ResiliencyConstraint, Selection,
+    SystemProfile, ThroughputConstraint, TrainingOptions, ANY_THREADS,
 };
 pub use arc_ecc::{EccConfig, EccMethod};
