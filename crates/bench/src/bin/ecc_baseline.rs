@@ -4,9 +4,17 @@
 //! (`decode_in_place`), and decode with correctable corruption for every
 //! built-in scheme across a thread sweep of {1, 2, max}
 //! (`available_parallelism`, recorded as `max_threads`; duplicate points
-//! are collapsed, so a single-core machine still exercises the 2-thread
-//! pool path), then prints a JSON document (hand-rolled — the repo takes
-//! no serde dependency).
+//! are collapsed), then prints a JSON document (hand-rolled — the repo
+//! takes no serde dependency). Each row carries `effective_workers` (the
+//! worker count after the bytes-per-thread floor of DESIGN.md §13 — a
+//! probe below the floor runs sequentially even when the codec owns a
+//! pool) and `scaling_efficiency` (encode MiB/s at `threads` divided by
+//! `threads` × the scheme's 1-thread MiB/s; 1.0 is perfect scaling).
+//!
+//! A `"schedule"` section reports the compiled XOR-schedule statistics for
+//! the Reed-Solomon probe configuration plus the backend the dispatcher
+//! resolves on this machine — measured directly off the schedule cache,
+//! not through the optional telemetry feature.
 //!
 //! A `"range"` section times random access over a v2 sharded container:
 //! `decode_range` of one shard-sized slice against a full decode of the
@@ -107,6 +115,9 @@ fn main() {
         let len = if name == "Reed-Solomon" { RS_PROBE_BYTES } else { PROBE_BYTES };
         let data = probe(len);
         let corrects = config.capability().corrects_sparse;
+        // 1-thread encode MiB/s, the denominator for `scaling_efficiency`
+        // (thread_points always starts at 1).
+        let mut base_mbps: Option<f64> = None;
         for &threads in &thread_points {
             let codec = ParallelCodec::new(config, threads).expect("codec");
             let mut out = vec![0u8; codec.encoded_len(data.len())];
@@ -179,19 +190,33 @@ fn main() {
                 Some((c, p)) => (format!("{c:.6e}"), format!("{p:.6e}")),
                 None => ("null".to_string(), "null".to_string()),
             };
+            let enc_mbps = mbps(enc);
+            if threads == 1 {
+                base_mbps = Some(enc_mbps);
+            }
+            let efficiency = match base_mbps {
+                Some(base) if base > 0.0 => {
+                    format!("{:.2}", enc_mbps / (threads as f64 * base))
+                }
+                _ => "null".to_string(),
+            };
             entries.push(format!(
                 concat!(
-                    "    {{\"scheme\": \"{}\", \"threads\": {}, \"bytes\": {}, ",
+                    "    {{\"scheme\": \"{}\", \"threads\": {}, \"effective_workers\": {}, ",
+                    "\"bytes\": {}, ",
                     "\"encode_mib_s\": {:.1}, \"decode_clean_mib_s\": {:.1}, ",
-                    "\"decode_corrupt_mib_s\": {}, \"encode_s\": {:.6e}, ",
+                    "\"decode_corrupt_mib_s\": {}, \"scaling_efficiency\": {}, ",
+                    "\"encode_s\": {:.6e}, ",
                     "\"stage_copy_s\": {}, \"stage_parity_s\": {}}}"
                 ),
                 name,
                 threads,
+                codec.effective_workers(len),
                 len,
-                mbps(enc),
+                enc_mbps,
                 mbps(dec),
                 corrupt_field,
+                efficiency,
                 enc,
                 copy_field,
                 parity_field
@@ -203,12 +228,38 @@ fn main() {
     let shard_size = PROBE_BYTES / 16;
     let (full_s, range_s) = range_probe(&range_data, shard_size);
 
+    // Compiled XOR-schedule statistics for the RS probe configuration
+    // (DESIGN.md §13), read off the schedule cache directly so the numbers
+    // are valid without the telemetry feature.
+    let schedule_field = scaling_schemes()
+        .into_iter()
+        .find_map(|(_, config)| match config {
+            arc_ecc::EccConfig::Rs(rs) => Some(rs),
+            _ => None,
+        })
+        .map(|rs| {
+            let s = rs.schedule_stats();
+            let backend = match arc_ecc::rs::resolved_rs_backend() {
+                arc_ecc::rs::RsBackend::Scheduled => "scheduled",
+                _ => "table",
+            };
+            format!(
+                concat!(
+                    "{{\"k\": {}, \"m\": {}, \"naive_xors\": {}, \"scheduled_xors\": {}, ",
+                    "\"cse_saved\": {}, \"temps\": {}, \"resolved_backend\": \"{}\"}}"
+                ),
+                rs.k, rs.m, s.naive_xors, s.scheduled_xors, s.cse_saved, s.temps, backend
+            )
+        })
+        .unwrap_or_else(|| "null".to_string());
+
     println!("{{");
     println!("  \"bench\": \"ecc_throughput\",");
     println!("  \"unit\": \"MiB/s\",");
     println!("  \"reps\": {REPS},");
     println!("  \"max_threads\": {max_threads},");
     println!("  \"inject_errors\": {INJECT_ERRORS},");
+    println!("  \"schedule\": {schedule_field},");
     println!(
         concat!(
             "  \"range\": {{\"bytes\": {}, \"shard_size\": {}, \"slice_len\": {}, ",

@@ -44,8 +44,16 @@ pub struct TrainingTable {
     entries: BTreeMap<(String, usize), Measurement>,
 }
 
-/// Cache file header line.
-const CACHE_HEADER: &str = "# arc training cache v1";
+/// Cache file header line. The version is part of the cost-model contract:
+/// v2 coincides with the XOR-scheduled / GFNI / slice-by-16-CRC ECC kernels
+/// (DESIGN.md §13), whose throughput differs from v1-era measurements by
+/// integer factors — loading a v1 cache would feed the §4 optimizer a stale
+/// cost model, so caches with any other version line are discarded and the
+/// trainer re-measures.
+const CACHE_HEADER: &str = "# arc training cache v2";
+
+/// Prefix every versioned cache header starts with.
+const CACHE_HEADER_PREFIX: &str = "# arc training cache v";
 
 impl TrainingTable {
     /// Empty table.
@@ -143,6 +151,12 @@ impl TrainingTable {
                 Ok(l) => l,
                 Err(_) => continue,
             };
+            // A version header other than the current one means the file was
+            // measured against older kernels: drop everything read so far
+            // and ignore the rest — the caller re-trains from scratch.
+            if line.starts_with(CACHE_HEADER_PREFIX) && line.trim_end() != CACHE_HEADER {
+                return Ok(TrainingTable::new());
+            }
             if line.starts_with('#') || line.trim().is_empty() {
                 continue;
             }
@@ -346,7 +360,7 @@ mod tests {
         let path = dir.join("training.tsv");
         std::fs::write(
             &path,
-            "# arc training cache v1\n\
+            "# arc training cache v2\n\
              secded:64\t4\t100.0\t200.0\t3\n\
              garbage line without tabs\n\
              rs:999:999\t2\t1.0\t1.0\t1\n\
@@ -359,6 +373,32 @@ mod tests {
         assert_eq!(table.len(), 2, "only the two valid lines survive");
         assert!(table.get(&EccConfig::secded(true), 4).is_some());
         assert!(table.get(&EccConfig::hamming(true), 2).is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_cache_version_is_discarded() {
+        let dir = std::env::temp_dir().join(format!("arc-cache-stale-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("training.tsv");
+        // A v1-era cache measured the pre-scheduled kernels; its numbers
+        // would poison the optimizer's cost model, so nothing loads.
+        std::fs::write(
+            &path,
+            "# arc training cache v1\n\
+             secded:64\t4\t100.0\t200.0\t3\n\
+             hamming:64\t2\t50.0\t60.0\t2\n",
+        )
+        .unwrap();
+        let table = TrainingTable::load(&path).unwrap();
+        assert!(table.is_empty(), "v1 cache must be discarded, got {} entries", table.len());
+        // Saving writes the current version, which round-trips.
+        let mut fresh = TrainingTable::new();
+        fresh.record(&EccConfig::secded(true), 4, 100.0, 200.0);
+        fresh.save(&path).unwrap();
+        let header = std::fs::read_to_string(&path).unwrap();
+        assert!(header.starts_with("# arc training cache v2"));
+        assert_eq!(TrainingTable::load(&path).unwrap().len(), 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 

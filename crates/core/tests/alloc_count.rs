@@ -3,6 +3,7 @@
 //! in-place decode path never makes a full-buffer copy on clean data.
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use arc_core::engine::{arc_engine_decode, arc_engine_encode};
@@ -14,6 +15,26 @@ struct CountingAlloc;
 static ALLOCS: AtomicUsize = AtomicUsize::new(0);
 static BYTES: AtomicUsize = AtomicUsize::new(0);
 
+thread_local! {
+    /// True on the test thread while a `counted` closure runs — the libtest
+    /// harness thread allocates on its own schedule (capture plumbing,
+    /// timeout bookkeeping), and a process-global count flakes on it. The
+    /// paths under measurement here are sequential (1 thread), so scoping
+    /// the count to this thread loses nothing.
+    static MEASURING: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Count one allocation of `size` bytes, if this thread is measuring.
+/// `try_with` because the allocator also runs during TLS teardown.
+fn note(size: usize) {
+    let _ = MEASURING.try_with(|m| {
+        if m.get() {
+            ALLOCS.fetch_add(1, Ordering::SeqCst);
+            BYTES.fetch_add(size, Ordering::SeqCst);
+        }
+    });
+}
+
 // SAFETY: a pure forwarding allocator — every method delegates to `System`
 // with unchanged arguments, so `System`'s allocation guarantees carry over;
 // the side counters are atomics with no effect on the returned memory.
@@ -21,8 +42,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     // SAFETY: contract inherited from `GlobalAlloc::alloc`; discharged below
     // by forwarding to `System`.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::SeqCst);
-        BYTES.fetch_add(layout.size(), Ordering::SeqCst);
+        note(layout.size());
         // SAFETY: same layout the caller passed, under the same contract.
         unsafe { System.alloc(layout) }
     }
@@ -30,8 +50,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     // SAFETY: contract inherited from `GlobalAlloc::alloc_zeroed`; discharged
     // below by forwarding to `System`.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::SeqCst);
-        BYTES.fetch_add(layout.size(), Ordering::SeqCst);
+        note(layout.size());
         // SAFETY: same layout the caller passed, under the same contract.
         unsafe { System.alloc_zeroed(layout) }
     }
@@ -47,8 +66,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     // SAFETY: contract inherited from `GlobalAlloc::realloc`; discharged
     // below by forwarding to `System`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::SeqCst);
-        BYTES.fetch_add(new_size, Ordering::SeqCst);
+        note(new_size);
         // SAFETY: `ptr`/`layout` come from a prior `System` allocation and
         // `new_size` is forwarded unchanged.
         unsafe { System.realloc(ptr, layout, new_size) }
@@ -61,7 +79,9 @@ static A: CountingAlloc = CountingAlloc;
 fn counted<R>(f: impl FnOnce() -> R) -> (R, usize, usize) {
     let allocs0 = ALLOCS.load(Ordering::SeqCst);
     let bytes0 = BYTES.load(Ordering::SeqCst);
+    MEASURING.with(|m| m.set(true));
     let r = f();
+    MEASURING.with(|m| m.set(false));
     (r, ALLOCS.load(Ordering::SeqCst) - allocs0, BYTES.load(Ordering::SeqCst) - bytes0)
 }
 

@@ -1,0 +1,286 @@
+//! GF(2) bitmatrix expansion of GF(2^8) arithmetic.
+//!
+//! Multiplication by a constant `c` in GF(2^8) is linear over GF(2): writing
+//! an input byte as bits `x = Σ_b x_b·2^b`, the product is
+//! `c·x = Σ_b x_b·(c·2^b)`. The eight products `c·2^b` therefore form the
+//! columns of an 8×8 bit matrix `M_c` with `c·x = M_c·x` — the *bitmatrix
+//! expansion* of the coefficient ("Accelerating XOR-based Erasure Coding
+//! using Program Optimization Techniques", arXiv 2108.02692). Two consumers
+//! share this representation:
+//!
+//! * the GFNI kernels in [`crate::gf256`]: `GF2P8AFFINEQB` applies an 8×8
+//!   bit matrix to every byte of a vector in one instruction, so `M_c` *is*
+//!   the operand of the fastest multiply-by-constant this hardware has;
+//! * the XOR scheduler in [`crate::schedule`]: expanding the whole m×k
+//!   Cauchy matrix entry-wise yields an 8m×8k bit matrix whose rows are
+//!   pure XOR combinations of input bit planes, which a compiler can
+//!   common-subexpression-eliminate and cache-block.
+//!
+//! The module also provides the 8×8 *bit transposition* that moves device
+//! bytes into bit-plane form and back. The scheduled encoder works on bit
+//! planes internally but transposes its output back to bytes, so the wire
+//! format stays identical to the table-driven byte-wise encoder.
+
+use crate::gf256::Gf;
+
+/// The 8×8 GF(2) matrix of "multiply by `c`", row-major: bit `b` of
+/// `rows[r]` is `M[r][b]`, i.e. bit `r` of the product `c·2^b`.
+///
+/// For any byte `x`: bit `r` of `c·x` equals `parity(rows[r] & x)`.
+pub fn mul_matrix(c: Gf) -> [u8; 8] {
+    let mut rows = [0u8; 8];
+    for b in 0..8u32 {
+        let col = c.mul(Gf(1 << b)).0;
+        for (r, row) in rows.iter_mut().enumerate() {
+            *row |= ((col >> r) & 1) << b;
+        }
+    }
+    rows
+}
+
+/// The qword operand `GF2P8AFFINEQB` expects for "multiply by `c`".
+///
+/// The instruction computes output bit `r` of each byte as
+/// `parity(qword_byte[7 - r] & input_byte)`, so the matrix rows are packed
+/// most-significant-row-first into the little-endian qword.
+pub fn gfni_matrix(c: Gf) -> u64 {
+    let rows = mul_matrix(c);
+    let mut bytes = [0u8; 8];
+    for (r, &row) in rows.iter().enumerate() {
+        bytes[7 - r] = row;
+    }
+    u64::from_le_bytes(bytes)
+}
+
+/// All 256 GFNI matrix operands, indexed by coefficient value.
+///
+/// Built once behind a `OnceLock`; [`crate::gf256::warm_tables`] forces the
+/// build so steady-state encode never pays it.
+pub(crate) fn gfni_matrices() -> &'static [u64; 256] {
+    static MATRICES: std::sync::OnceLock<[u64; 256]> = std::sync::OnceLock::new();
+    MATRICES.get_or_init(|| {
+        let mut out = [0u64; 256];
+        for (c, slot) in out.iter_mut().enumerate() {
+            // c is 0..=255, in range for Gf by construction.
+            *slot = gfni_matrix(Gf(u8::try_from(c).unwrap_or(0)));
+        }
+        out
+    })
+}
+
+/// A dense GF(2) matrix with `8·m` rows over `8·k` columns, rows stored as
+/// little-endian u64 words (`words_per_row` words each).
+///
+/// Row `8j + r` describes output bit plane `r` of code device `j`: the set
+/// bits name the input bit planes (`8i + b` for data device `i`, bit `b`)
+/// that XOR into it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitMatrix {
+    /// Number of data devices (columns are `8·k` bit planes).
+    pub k: usize,
+    /// Number of code devices (rows are `8·m` bit planes).
+    pub m: usize,
+    /// Words per row: `ceil(8k / 64)`.
+    pub words_per_row: usize,
+    /// Row-major bitset storage, `8m · words_per_row` words.
+    pub rows: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// Expand a row-major m×k GF(2^8) coefficient matrix (entry `j·k + i`
+    /// is the coefficient of data device `i` in code device `j`) into its
+    /// 8m×8k GF(2) bitmatrix.
+    pub fn expand(coeffs: &[Gf], k: usize, m: usize) -> BitMatrix {
+        debug_assert_eq!(coeffs.len(), k * m);
+        let words_per_row = (8 * k).div_ceil(64);
+        let mut rows = vec![0u64; 8 * m * words_per_row];
+        for j in 0..m {
+            for i in 0..k {
+                let bits = mul_matrix(coeffs[j * k + i]);
+                for (r, &row_byte) in bits.iter().enumerate() {
+                    let row = 8 * j + r;
+                    for b in 0..8 {
+                        if (row_byte >> b) & 1 != 0 {
+                            let col = 8 * i + b;
+                            rows[row * words_per_row + col / 64] |= 1u64 << (col % 64);
+                        }
+                    }
+                }
+            }
+        }
+        BitMatrix { k, m, words_per_row, rows }
+    }
+
+    /// One row as a word slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[u64] {
+        &self.rows[r * self.words_per_row..(r + 1) * self.words_per_row]
+    }
+
+    /// Total number of set bits — the XOR cost of the naive (unscheduled)
+    /// bit-plane encode, counting one XOR per set bit.
+    pub fn ones(&self) -> usize {
+        self.rows.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// Transpose an 8×8 bit block held as a u64 (byte `i` = row `i`).
+///
+/// Standard word-parallel bit transposition (Hacker's Delight 7-3): after
+/// the call, bit `j` of output byte `i` is bit `i` of input byte `j`.
+#[inline]
+pub fn transpose8x8(x: u64) -> u64 {
+    let mut x = x;
+    let t = (x ^ (x >> 7)) & 0x00AA_00AA_00AA_00AA;
+    x ^= t ^ (t << 7);
+    let t = (x ^ (x >> 14)) & 0x0000_CCCC_0000_CCCC;
+    x ^= t ^ (t << 14);
+    let t = (x ^ (x >> 28)) & 0x0000_0000_F0F0_F0F0;
+    x ^= t ^ (t << 28);
+    x
+}
+
+/// Scatter `src` (device bytes, zero-padded to `8·plane_len`) into eight
+/// bit planes of `plane_len` bytes each, written contiguously into `dst`
+/// (`8·plane_len` bytes: plane 0 first).
+///
+/// Bit `u` of plane `b` is bit `b` of source byte `u` — i.e. plane `b`
+/// collects bit `b` of every byte. Source bytes beyond `src.len()` are
+/// treated as zero.
+pub fn bytes_to_planes(src: &[u8], dst: &mut [u8], plane_len: usize) {
+    debug_assert!(dst.len() >= 8 * plane_len);
+    debug_assert!(src.len() <= 8 * plane_len);
+    for u in 0..plane_len {
+        // Load 8 source bytes (zero-padded) as one block: byte i = src[8u+i].
+        let base = 8 * u;
+        let mut block = [0u8; 8];
+        if base < src.len() {
+            let n = (src.len() - base).min(8);
+            block[..n].copy_from_slice(&src[base..base + n]);
+        }
+        // Transposing swaps (byte index, bit index): output byte b holds bit
+        // b of every input byte, exactly one plane byte per plane.
+        let t = transpose8x8(u64::from_le_bytes(block)).to_le_bytes();
+        for b in 0..8 {
+            dst[b * plane_len + u] = t[b];
+        }
+    }
+}
+
+/// Inverse of [`bytes_to_planes`]: gather eight contiguous planes of
+/// `plane_len` bytes from `src` back into device bytes, writing the first
+/// `dst.len()` bytes (callers pass the real, possibly ragged device slice).
+pub fn planes_to_bytes(src: &[u8], dst: &mut [u8], plane_len: usize) {
+    debug_assert!(src.len() >= 8 * plane_len);
+    debug_assert!(dst.len() <= 8 * plane_len);
+    for u in 0..plane_len {
+        let mut block = [0u8; 8];
+        for b in 0..8 {
+            block[b] = src[b * plane_len + u];
+        }
+        let t = transpose8x8(u64::from_le_bytes(block)).to_le_bytes();
+        let base = 8 * u;
+        if base >= dst.len() {
+            break;
+        }
+        let n = (dst.len() - base).min(8);
+        dst[base..base + n].copy_from_slice(&t[..n]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mul_matrix_matches_field_multiply_exhaustively() {
+        for c in 0..=255u8 {
+            let rows = mul_matrix(Gf(c));
+            for x in 0..=255u8 {
+                let mut product = 0u8;
+                for (r, &row) in rows.iter().enumerate() {
+                    let parity = (row & x).count_ones() & 1;
+                    product |= u8::try_from(parity).unwrap() << r;
+                }
+                assert_eq!(product, Gf(c).mul(Gf(x)).0, "c={c} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn gfni_matrix_identity_is_reversed_unit_rows() {
+        // Multiply-by-one must be the identity map: row r = 1 << r, packed
+        // most-significant-row-first.
+        assert_eq!(gfni_matrix(Gf::ONE), 0x0102_0408_1020_4080);
+    }
+
+    #[test]
+    fn gfni_matrix_table_matches_builder() {
+        let t = gfni_matrices();
+        for c in 0..=255u8 {
+            assert_eq!(t[c as usize], gfni_matrix(Gf(c)), "c={c}");
+        }
+    }
+
+    #[test]
+    fn expand_row_bits_reproduce_coefficients() {
+        let coeffs: Vec<Gf> = (0..6u8).map(|v| Gf(v.wrapping_mul(29).wrapping_add(3))).collect();
+        let (k, m) = (3usize, 2usize);
+        let bm = BitMatrix::expand(&coeffs, k, m);
+        assert_eq!(bm.words_per_row, 1);
+        for j in 0..m {
+            for i in 0..k {
+                let want = mul_matrix(coeffs[j * k + i]);
+                for (r, &want_row) in want.iter().enumerate() {
+                    let row = bm.row(8 * j + r)[0];
+                    let got = (row >> (8 * i)) & 0xFF;
+                    assert_eq!(got, u64::from(want_row), "j={j} i={i} r={r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ones_counts_every_set_bit() {
+        let coeffs = vec![Gf::ONE; 4]; // identity matrices: 8 ones each
+        let bm = BitMatrix::expand(&coeffs, 2, 2);
+        assert_eq!(bm.ones(), 4 * 8);
+    }
+
+    #[test]
+    fn transpose8x8_is_involutive_and_correct() {
+        let x = 0x0123_4567_89AB_CDEFu64;
+        assert_eq!(transpose8x8(transpose8x8(x)), x);
+        let t = transpose8x8(x).to_le_bytes();
+        let src = x.to_le_bytes();
+        for (i, _) in t.iter().enumerate() {
+            for j in 0..8 {
+                assert_eq!((t[i] >> j) & 1, (src[j] >> i) & 1, "i={i} j={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn planes_round_trip_including_ragged_tails() {
+        for len in [0usize, 1, 7, 8, 9, 40, 63, 64, 65, 1000] {
+            let src: Vec<u8> = (0..len).map(|i| (i as u8).wrapping_mul(97) ^ 0x3C).collect();
+            let plane_len = len.div_ceil(8);
+            let mut planes = vec![0u8; 8 * plane_len];
+            bytes_to_planes(&src, &mut planes, plane_len);
+            let mut back = vec![0u8; len];
+            planes_to_bytes(&planes, &mut back, plane_len);
+            assert_eq!(back, src, "len={len}");
+        }
+    }
+
+    #[test]
+    fn plane_bit_semantics() {
+        // One byte 0b0000_0100 → only plane 2 has its first bit set.
+        let src = [0x04u8];
+        let mut planes = vec![0u8; 8];
+        bytes_to_planes(&src, &mut planes, 1);
+        for (b, &p) in planes.iter().enumerate() {
+            assert_eq!(p, if b == 2 { 1 } else { 0 }, "plane {b}");
+        }
+    }
+}

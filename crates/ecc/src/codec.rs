@@ -166,6 +166,19 @@ pub trait EccScheme: Send + Sync {
     /// What this scheme can detect/correct.
     fn capability(&self) -> Capability;
 
+    /// Minimum input bytes each pool worker should receive before splitting
+    /// a job across threads pays for the dispatch overhead.
+    ///
+    /// [`crate::parallel::ParallelCodec`] clamps its worker count to
+    /// `data_len / min_bytes_per_thread()` (never below 1), so small buffers
+    /// run in-line instead of *losing* throughput to thread startup — the
+    /// measured regression this floor exists to prevent (DESIGN.md §13).
+    /// The default suits the fast detect-dominant schemes (parity, Hamming,
+    /// SEC-DED, >1 GB/s class); heavier schemes override it downward.
+    fn min_bytes_per_thread(&self) -> usize {
+        4 << 20
+    }
+
     /// Convenience: full encode producing `data ‖ parity` in one allocation.
     fn encode(&self, data: &[u8]) -> Vec<u8> {
         let mut out = vec![0u8; data.len() + self.parity_len(data.len())];
@@ -259,5 +272,8 @@ impl EccScheme for std::sync::Arc<dyn EccScheme> {
     }
     fn capability(&self) -> Capability {
         (**self).capability()
+    }
+    fn min_bytes_per_thread(&self) -> usize {
+        (**self).min_bytes_per_thread()
     }
 }

@@ -220,6 +220,10 @@ impl EccScheme for EccConfig {
     fn capability(&self) -> Capability {
         self.as_scheme().capability()
     }
+
+    fn min_bytes_per_thread(&self) -> usize {
+        self.as_scheme().min_bytes_per_thread()
+    }
 }
 
 impl std::fmt::Display for EccConfig {

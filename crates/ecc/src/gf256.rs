@@ -190,15 +190,22 @@ fn mul_tables() -> &'static MulTables {
     })
 }
 
-/// Force-build every lazily-initialized lookup table (log/exp and the
-/// split-nibble multiply tables).
+/// Force-build every lazily-initialized lookup table: log/exp, the
+/// split-nibble multiply tables, the GFNI affine-matrix operands, and the
+/// slice-by-16 CRC-32 tables.
 ///
 /// Hot paths touch the tables through `OnceLock`s; calling this once up
 /// front (e.g. when a [`crate::parallel::ParallelCodec`] is constructed)
 /// keeps the one-time build out of the timed/parallel region and off the
-/// allocation budget of steady-state encode/decode.
+/// allocation budget of steady-state encode/decode. Compiled XOR schedules
+/// are *not* warmed here — they are per-(k, m) and compile lazily on the
+/// first encode that selects the scheduled backend.
 pub fn warm_tables() {
     let _ = mul_tables();
+    let _ = crate::bitmatrix::gfni_matrices();
+    crate::crc::warm_crc_tables();
+    #[cfg(target_arch = "x86_64")]
+    let _ = simd_level();
 }
 
 /// The 256-entry multiplication row for coefficient `c`: `row[b] = c·b`.
@@ -208,9 +215,16 @@ pub(crate) fn row_table(c: Gf) -> &'static [u8; 256] {
 }
 
 /// Which SIMD kernel the slice operations dispatch to, resolved once.
+///
+/// The two GFNI tiers use `GF2P8AFFINEQB`, which applies the coefficient's
+/// 8×8 bitmatrix ([`crate::bitmatrix::gfni_matrix`]) to every byte of a
+/// vector in a single instruction — one op per 64/32 bytes versus the four
+/// shuffle/xor ops of the PSHUFB split-nibble kernel.
 #[cfg(target_arch = "x86_64")]
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum SimdLevel {
+    Gfni512,
+    Gfni256,
     Avx2,
     Ssse3,
     None,
@@ -220,7 +234,16 @@ enum SimdLevel {
 fn simd_level() -> SimdLevel {
     static LEVEL: std::sync::OnceLock<SimdLevel> = std::sync::OnceLock::new();
     *LEVEL.get_or_init(|| {
-        if is_x86_feature_detected!("avx2") {
+        let gfni = is_x86_feature_detected!("gfni");
+        if gfni
+            && is_x86_feature_detected!("avx512f")
+            && is_x86_feature_detected!("avx512bw")
+            && is_x86_feature_detected!("avx512vl")
+        {
+            SimdLevel::Gfni512
+        } else if gfni && is_x86_feature_detected!("avx2") {
+            SimdLevel::Gfni256
+        } else if is_x86_feature_detected!("avx2") {
             SimdLevel::Avx2
         } else if is_x86_feature_detected!("ssse3") {
             SimdLevel::Ssse3
@@ -228,6 +251,19 @@ fn simd_level() -> SimdLevel {
             SimdLevel::None
         }
     })
+}
+
+/// True when any SIMD multiply kernel (GFNI or PSHUFB-class) is available.
+/// Without one, the scheduled-XOR program is the faster RS encode backend.
+pub(crate) fn has_simd() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        simd_level() != SimdLevel::None
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
 }
 
 /// Little-endian u64 load from a `chunks_exact(8)` chunk. The clamped copy
@@ -241,9 +277,10 @@ fn le_word(b: &[u8]) -> u64 {
     u64::from_le_bytes(w)
 }
 
-/// `dst[i] ^= src[i]` — the c = 1 case, folded over u64 lanes.
+/// `dst[i] ^= src[i]` — the c = 1 case, folded over u64 lanes. Also the
+/// inner kernel of the scheduled-XOR executor in [`crate::schedule`].
 #[inline]
-fn xor_slice(dst: &mut [u8], src: &[u8]) {
+pub(crate) fn xor_slice(dst: &mut [u8], src: &[u8]) {
     let mut d8 = dst.chunks_exact_mut(8);
     let mut s8 = src.chunks_exact(8);
     for (d, s) in (&mut d8).zip(&mut s8) {
@@ -303,6 +340,99 @@ mod x86 {
     use std::arch::x86_64::*;
 
     use super::{mul_acc_words, mul_tables, row_table, scale_words, Gf};
+    use crate::bitmatrix::gfni_matrices;
+
+    /// # Safety
+    /// Caller must ensure GFNI + AVX-512F/BW are available.
+    #[target_feature(enable = "gfni,avx512f,avx512bw")]
+    pub(super) unsafe fn mul_acc_gfni512(dst: &mut [u8], src: &[u8], c: Gf) {
+        let mat = gfni_matrices()[c.0 as usize];
+        // SAFETY: unaligned loads/stores stay within `dst`/`src` because the
+        // loop bound n is their length rounded down to a whole 64-byte lane.
+        unsafe {
+            let m = _mm512_set1_epi64(mat as i64);
+            let n = dst.len() & !63;
+            let mut i = 0;
+            while i < n {
+                let s = _mm512_loadu_si512(src.as_ptr().add(i) as *const __m512i);
+                let prod = _mm512_gf2p8affine_epi64_epi8::<0>(s, m);
+                let d = _mm512_loadu_si512(dst.as_ptr().add(i) as *const __m512i);
+                _mm512_storeu_si512(
+                    dst.as_mut_ptr().add(i) as *mut __m512i,
+                    _mm512_xor_si512(d, prod),
+                );
+                i += 64;
+            }
+            mul_acc_words(&mut dst[n..], &src[n..], row_table(c));
+        }
+    }
+
+    /// # Safety
+    /// Caller must ensure GFNI + AVX2 are available.
+    #[target_feature(enable = "gfni,avx2")]
+    pub(super) unsafe fn mul_acc_gfni256(dst: &mut [u8], src: &[u8], c: Gf) {
+        let mat = gfni_matrices()[c.0 as usize];
+        // SAFETY: unaligned loads/stores stay within `dst`/`src` because the
+        // loop bound n is their length rounded down to a whole 32-byte lane.
+        unsafe {
+            let m = _mm256_set1_epi64x(mat as i64);
+            let n = dst.len() & !31;
+            let mut i = 0;
+            while i < n {
+                let s = _mm256_loadu_si256(src.as_ptr().add(i) as *const __m256i);
+                let prod = _mm256_gf2p8affine_epi64_epi8::<0>(s, m);
+                let d = _mm256_loadu_si256(dst.as_ptr().add(i) as *const __m256i);
+                _mm256_storeu_si256(
+                    dst.as_mut_ptr().add(i) as *mut __m256i,
+                    _mm256_xor_si256(d, prod),
+                );
+                i += 32;
+            }
+            mul_acc_words(&mut dst[n..], &src[n..], row_table(c));
+        }
+    }
+
+    /// # Safety
+    /// Caller must ensure GFNI + AVX-512F/BW are available.
+    #[target_feature(enable = "gfni,avx512f,avx512bw")]
+    pub(super) unsafe fn scale_gfni512(dst: &mut [u8], c: Gf) {
+        let mat = gfni_matrices()[c.0 as usize];
+        // SAFETY: unaligned loads/stores stay within `dst` because the loop
+        // bound n is its length rounded down to a whole 64-byte lane.
+        unsafe {
+            let m = _mm512_set1_epi64(mat as i64);
+            let n = dst.len() & !63;
+            let mut i = 0;
+            while i < n {
+                let s = _mm512_loadu_si512(dst.as_ptr().add(i) as *const __m512i);
+                let prod = _mm512_gf2p8affine_epi64_epi8::<0>(s, m);
+                _mm512_storeu_si512(dst.as_mut_ptr().add(i) as *mut __m512i, prod);
+                i += 64;
+            }
+            scale_words(&mut dst[n..], row_table(c));
+        }
+    }
+
+    /// # Safety
+    /// Caller must ensure GFNI + AVX2 are available.
+    #[target_feature(enable = "gfni,avx2")]
+    pub(super) unsafe fn scale_gfni256(dst: &mut [u8], c: Gf) {
+        let mat = gfni_matrices()[c.0 as usize];
+        // SAFETY: unaligned loads/stores stay within `dst` because the loop
+        // bound n is its length rounded down to a whole 32-byte lane.
+        unsafe {
+            let m = _mm256_set1_epi64x(mat as i64);
+            let n = dst.len() & !31;
+            let mut i = 0;
+            while i < n {
+                let s = _mm256_loadu_si256(dst.as_ptr().add(i) as *const __m256i);
+                let prod = _mm256_gf2p8affine_epi64_epi8::<0>(s, m);
+                _mm256_storeu_si256(dst.as_mut_ptr().add(i) as *mut __m256i, prod);
+                i += 32;
+            }
+            scale_words(&mut dst[n..], row_table(c));
+        }
+    }
 
     /// # Safety
     /// Caller must ensure AVX2 is available.
@@ -432,6 +562,10 @@ pub fn scale_slice(dst: &mut [u8], c: Gf) {
     }
     #[cfg(target_arch = "x86_64")]
     match simd_level() {
+        // SAFETY: the features were detected at runtime.
+        SimdLevel::Gfni512 => return unsafe { x86::scale_gfni512(dst, c) },
+        // SAFETY: the features were detected at runtime.
+        SimdLevel::Gfni256 => return unsafe { x86::scale_gfni256(dst, c) },
         // SAFETY: the feature was detected at runtime.
         SimdLevel::Avx2 => return unsafe { x86::scale_avx2(dst, c) },
         // SAFETY: the feature was detected at runtime.
@@ -455,6 +589,10 @@ pub fn mul_acc_slice(dst: &mut [u8], src: &[u8], c: Gf) {
     }
     #[cfg(target_arch = "x86_64")]
     match simd_level() {
+        // SAFETY: the features were detected at runtime.
+        SimdLevel::Gfni512 => return unsafe { x86::mul_acc_gfni512(dst, src, c) },
+        // SAFETY: the features were detected at runtime.
+        SimdLevel::Gfni256 => return unsafe { x86::mul_acc_gfni256(dst, src, c) },
         // SAFETY: the feature was detected at runtime.
         SimdLevel::Avx2 => return unsafe { x86::mul_acc_avx2(dst, src, c) },
         // SAFETY: the feature was detected at runtime.

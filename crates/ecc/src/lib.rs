@@ -31,6 +31,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bitmatrix;
 pub mod bits;
 pub mod codec;
 pub mod config;
@@ -43,6 +44,7 @@ pub mod parity;
 pub mod replication;
 pub mod rs;
 pub mod rscode;
+pub mod schedule;
 pub mod secded;
 
 /// Convenient re-exports of the crate's primary types.

@@ -127,6 +127,35 @@ impl<S: EccScheme> ParallelCodec<S> {
         self.chunk_size
     }
 
+    /// Workers actually worth dispatching for `data_len` input bytes.
+    ///
+    /// The minimum-bytes-per-thread floor ([`EccScheme::min_bytes_per_thread`])
+    /// clamps the configured thread count so each worker gets enough work to
+    /// amortize thread dispatch; small jobs collapse to 1 and bypass the pool
+    /// entirely. This is what fixed the measured 2-thread throughput
+    /// *regression* for the fast schemes (see DESIGN.md §13).
+    pub fn effective_workers(&self, data_len: usize) -> usize {
+        if self.threads <= 1 {
+            return 1;
+        }
+        let floor = self.config.min_bytes_per_thread().max(1);
+        self.threads.min(data_len / floor).max(1)
+    }
+
+    /// The pool to dispatch on, if parallelism is worth it for this length.
+    fn pool_for(&self, data_len: usize) -> Option<&rayon::ThreadPool> {
+        let workers = self.effective_workers(data_len);
+        arc_telemetry::histogram_record("ecc.codec.effective_workers", workers as u64);
+        if workers > 1 {
+            self.pool.as_ref()
+        } else {
+            if self.pool.is_some() {
+                arc_telemetry::counter_add("ecc.codec.pool_bypassed", 1);
+            }
+            None
+        }
+    }
+
     /// Total encoded length for `data_len` input bytes.
     pub fn encoded_len(&self, data_len: usize) -> usize {
         data_len + self.total_parity_len(data_len)
@@ -159,7 +188,7 @@ impl<S: EccScheme> ParallelCodec<S> {
         let expected = self.encoded_len(data.len());
         assert_eq!(out.len(), expected, "encode_into: output buffer size mismatch");
         let (data_out, parity_all) = out.split_at_mut(data.len());
-        match &self.pool {
+        match self.pool_for(data.len()) {
             Some(pool) => {
                 let mut jobs: Vec<(&[u8], &mut [u8], &mut [u8])> =
                     Vec::with_capacity(data.len().div_ceil(self.chunk_size));
@@ -278,7 +307,7 @@ impl<S: EccScheme> ParallelCodec<S> {
             arc_telemetry::histogram_record("ecc.encode.chunk_ns", t.elapsed_ns());
             arc_telemetry::counter_add("ecc.encode.chunks_done", 1);
         };
-        match &self.pool {
+        match self.pool_for(data.len()) {
             Some(pool) => pool.install(|| jobs.par_iter_mut().for_each(run)),
             None => jobs.iter_mut().for_each(run),
         }
@@ -332,7 +361,7 @@ impl<S: EccScheme> ParallelCodec<S> {
             });
         }
         let (data_all, parity_all) = encoded.split_at_mut(data_len);
-        let merged = match &self.pool {
+        let merged = match self.pool_for(data_len) {
             Some(pool) => {
                 let mut jobs: Vec<(&mut [u8], &mut [u8])> =
                     Vec::with_capacity(data_len.div_ceil(self.chunk_size));
@@ -677,6 +706,43 @@ mod tests {
         assert_eq!(codec.sharded_encoded_len(0, 4096), 0);
         let mut out = vec![];
         codec.encode_sharded_into(&[], 4096, &mut out).unwrap();
+    }
+
+    #[test]
+    fn effective_workers_respects_min_bytes_floor() {
+        // RS floor is 1 MiB/worker; light schemes 4 MiB/worker.
+        let rs = ParallelCodec::new(EccConfig::rs(16, 4).unwrap(), 4).unwrap();
+        assert_eq!(rs.effective_workers(100_000), 1, "small job collapses to in-line");
+        assert_eq!(rs.effective_workers(1 << 20), 1, "exactly one floor's worth");
+        assert_eq!(rs.effective_workers(2 << 20), 2);
+        assert_eq!(rs.effective_workers(100 << 20), 4, "clamped at configured threads");
+        let ham = ParallelCodec::new(EccConfig::hamming(true), 2).unwrap();
+        assert_eq!(ham.effective_workers(4 << 20), 1);
+        assert_eq!(ham.effective_workers(8 << 20), 2);
+        // Sequential codecs are unaffected.
+        let seq = ParallelCodec::new(EccConfig::hamming(true), 1).unwrap();
+        assert_eq!(seq.effective_workers(100 << 20), 1);
+    }
+
+    #[test]
+    fn pool_path_round_trips_above_the_floor() {
+        // Large enough that the pool is genuinely used (3 MiB / 1 MiB floor
+        // = 3 workers for RS): the parallel output must match sequential
+        // and repairs must still work chunk-locally.
+        let cfg = EccConfig::rs(16, 4).unwrap();
+        let par = ParallelCodec::with_chunk_size(cfg, 4, 256 * 1024).unwrap();
+        assert_eq!(par.effective_workers(3 << 20), 3);
+        let seq = ParallelCodec::with_chunk_size(cfg, 1, 256 * 1024).unwrap();
+        let data = sample(3 << 20);
+        let enc = par.encode(&data);
+        assert_eq!(enc, seq.encode(&data));
+        let mut bad = enc.clone();
+        for b in &mut bad[5000..5000 + 2048] {
+            *b = 0xEE;
+        }
+        let (out, report) = par.decode(&bad, data.len()).unwrap();
+        assert_eq!(out, data);
+        assert!(report.corrected_devices >= 1);
     }
 
     #[test]

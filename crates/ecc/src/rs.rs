@@ -19,16 +19,90 @@
 //! memory speed (fast, Fig 9d), and repairs pay Gaussian elimination plus
 //! reconstruction (the Fig 10 cliff).
 
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::codec::{Capability, CorrectionReport, EccError, EccScheme};
 use crate::crc::{crc32, crc32_zero_padded, CRC_LEN};
-use crate::gf256::{mul_acc_slice, Gf};
+use crate::gf256::{mul_acc_slice, xor_slice, Gf};
+use crate::schedule::{schedule_for, ScheduleStats};
 
 /// Maximum total device count (`k + m`) representable in GF(2^8) with the
 /// Cauchy construction used here.
 pub const MAX_DEVICES: usize = 255;
+
+/// Which kernel family the Reed-Solomon encode/syndrome paths run on.
+///
+/// Both backends produce byte-identical parity (the equivalence tests pin
+/// this); the choice is purely a throughput policy, resolved once per call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RsBackend {
+    /// Pick automatically: table-driven when a byte-shuffle/GFNI SIMD kernel
+    /// exists (it beats plane transposition there), scheduled-XOR otherwise
+    /// (the u64 XOR program beats the scalar table loop).
+    Auto,
+    /// Byte-wise GF(2^8) multiply-accumulate through the `gf256` kernels.
+    Table,
+    /// Compiled bit-plane XOR program from [`crate::schedule`].
+    Scheduled,
+}
+
+/// Process-wide backend override: 0 = auto, 1 = table, 2 = scheduled.
+static BACKEND: AtomicU8 = AtomicU8::new(0);
+
+/// Force a specific Reed-Solomon backend (tests, benches, and the hostile
+/// harness use this to pin coverage of both kernel families).
+pub fn set_rs_backend(b: RsBackend) {
+    let v = match b {
+        RsBackend::Auto => 0,
+        RsBackend::Table => 1,
+        RsBackend::Scheduled => 2,
+    };
+    BACKEND.store(v, Ordering::Relaxed);
+}
+
+/// The backend encode/syndromes will actually run on (never `Auto`).
+pub fn resolved_rs_backend() -> RsBackend {
+    match BACKEND.load(Ordering::Relaxed) {
+        1 => RsBackend::Table,
+        2 => RsBackend::Scheduled,
+        _ => {
+            if crate::gf256::has_simd() {
+                RsBackend::Table
+            } else {
+                RsBackend::Scheduled
+            }
+        }
+    }
+}
+
+thread_local! {
+    /// Reusable bit-plane scratch for the scheduled executor: steady-state
+    /// encode stays allocation-free once a worker has seen its (k, m).
+    static PLANE_SCRATCH: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+
+    /// Last coefficient matrix this thread fetched. Pool workers encode many
+    /// chunks of one configuration back to back; this memo keeps them off
+    /// the global `Mutex` after the first fetch.
+    static LAST_COEFFS: RefCell<CoeffMemo> = const { RefCell::new(None) };
+}
+
+/// `(k, m)` plus the coefficient matrix it maps to, for the thread-local
+/// last-used slot.
+type CoeffMemo = Option<((usize, usize), Arc<[Gf]>)>;
+
+/// Run `f` over this thread's scratch buffer, grown to at least `len`.
+fn with_plane_scratch<R>(len: usize, f: impl FnOnce(&mut [u8]) -> R) -> R {
+    PLANE_SCRATCH.with(|s| {
+        let mut buf = s.borrow_mut();
+        if buf.len() < len {
+            buf.resize(len, 0);
+        }
+        f(&mut buf[..len])
+    })
+}
 
 /// Per-(k,m) cache of the row-major m×k Cauchy coefficient matrix.
 ///
@@ -73,11 +147,19 @@ impl ReedSolomon {
     /// The cached m×k Cauchy coefficient matrix, row-major: entry
     /// `j * k + i` is `coeff(j, i)`.
     fn coeff_matrix(&self) -> Arc<[Gf]> {
+        let key = (self.k, self.m);
+        let hit = LAST_COEFFS.with(|slot| {
+            slot.borrow().as_ref().and_then(|(k, c)| if *k == key { Some(c.clone()) } else { None })
+        });
+        if let Some(c) = hit {
+            return c;
+        }
         let cache = COEFF_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
         // A poisoned lock only means another thread died mid-insert; the
         // cache itself is a plain memo table, so recover the guard.
         let mut map = cache.lock().unwrap_or_else(|p| p.into_inner());
-        map.entry((self.k, self.m))
+        let coeffs = map
+            .entry(key)
             .or_insert_with(|| {
                 let mut rows = Vec::with_capacity(self.m * self.k);
                 for j in 0..self.m {
@@ -87,7 +169,16 @@ impl ReedSolomon {
                 }
                 rows.into()
             })
-            .clone()
+            .clone();
+        drop(map);
+        LAST_COEFFS.with(|slot| *slot.borrow_mut() = Some((key, coeffs.clone())));
+        coeffs
+    }
+
+    /// Compile (memoized) and return the XOR-schedule statistics for this
+    /// configuration. `ecc_baseline` surfaces these into `BENCH_ecc.json`.
+    pub fn schedule_stats(&self) -> ScheduleStats {
+        schedule_for(&self.coeff_matrix(), self.k, self.m).stats
     }
 
     /// Cauchy generator coefficient for code device `j`, data device `i`.
@@ -147,17 +238,33 @@ impl ReedSolomon {
         let coeffs = self.coeff_matrix();
         // rhs_r = parity[rows[r]] − Σ_{good i} C[rows[r]][i]·data_i
         let mut rhs: Vec<Vec<u8>> = Vec::with_capacity(t);
-        for &j in rows {
-            let mut acc = parity_devs[j * d..(j + 1) * d].to_vec();
-            let row = &coeffs[j * self.k..(j + 1) * self.k];
-            for (i, &c) in row.iter().enumerate() {
-                if bad_data.contains(&i) {
-                    continue;
-                }
-                let range = self.data_device_range(data.len(), i);
-                mul_acc_slice(&mut acc[..range.len()], &data[range], c);
+        if resolved_rs_backend() == RsBackend::Scheduled {
+            // Syndromes through the scheduled kernel: recompute the full
+            // parity with the erased devices read as zero, then each rhs row
+            // is stored ⊕ recomputed. Same XOR program as encode.
+            let sched = schedule_for(&coeffs, self.k, self.m);
+            let mut recomputed = vec![0u8; self.m * d];
+            with_plane_scratch(sched.scratch_len(), |scratch| {
+                sched.encode_into(data, d, &mut recomputed, bad_data, scratch);
+            });
+            for &j in rows {
+                let mut acc = parity_devs[j * d..(j + 1) * d].to_vec();
+                xor_slice(&mut acc, &recomputed[j * d..(j + 1) * d]);
+                rhs.push(acc);
             }
-            rhs.push(acc);
+        } else {
+            for &j in rows {
+                let mut acc = parity_devs[j * d..(j + 1) * d].to_vec();
+                let row = &coeffs[j * self.k..(j + 1) * self.k];
+                for (i, &c) in row.iter().enumerate() {
+                    if bad_data.contains(&i) {
+                        continue;
+                    }
+                    let range = self.data_device_range(data.len(), i);
+                    mul_acc_slice(&mut acc[..range.len()], &data[range], c);
+                }
+                rhs.push(acc);
+            }
         }
         // Dense t×t system: A[r][c] = C[rows[r]][bad_data[c]].
         let mut a = vec![Gf::ZERO; t * t];
@@ -240,12 +347,19 @@ impl EccScheme for ReedSolomon {
         let d = self.device_size(data.len());
         let coeffs = self.coeff_matrix();
         let (parity_devs, crc_table) = parity.split_at_mut(self.m * d);
-        for j in 0..self.m {
-            let dev = &mut parity_devs[j * d..(j + 1) * d];
-            let row = &coeffs[j * self.k..(j + 1) * self.k];
-            for (i, &c) in row.iter().enumerate() {
-                let range = self.data_device_range(data.len(), i);
-                mul_acc_slice(&mut dev[..range.len()], &data[range], c);
+        if resolved_rs_backend() == RsBackend::Scheduled {
+            let sched = schedule_for(&coeffs, self.k, self.m);
+            with_plane_scratch(sched.scratch_len(), |scratch| {
+                sched.encode_into(data, d, parity_devs, &[], scratch);
+            });
+        } else {
+            for j in 0..self.m {
+                let dev = &mut parity_devs[j * d..(j + 1) * d];
+                let row = &coeffs[j * self.k..(j + 1) * self.k];
+                for (i, &c) in row.iter().enumerate() {
+                    let range = self.data_device_range(data.len(), i);
+                    mul_acc_slice(&mut dev[..range.len()], &data[range], c);
+                }
             }
         }
         for i in 0..self.k {
@@ -345,6 +459,13 @@ impl EccScheme for ReedSolomon {
             report.corrected_devices += 1;
         }
         Ok(report)
+    }
+
+    /// RS encode is the slowest kernel in the crate, so even 1 MiB of work
+    /// per worker amortizes thread dispatch; the lighter schemes keep the
+    /// larger default floor.
+    fn min_bytes_per_thread(&self) -> usize {
+        1 << 20
     }
 
     fn capability(&self) -> Capability {
@@ -561,5 +682,47 @@ mod tests {
         let rs = ReedSolomon::new(4, 2).unwrap();
         let len = rs.parity_len(100);
         assert_eq!(len, 2 * 25 + 6 * 4);
+    }
+
+    /// Restores the auto backend even if the test panics, so a failure here
+    /// cannot poison concurrently running tests.
+    struct BackendGuard;
+    impl Drop for BackendGuard {
+        fn drop(&mut self) {
+            set_rs_backend(RsBackend::Auto);
+        }
+    }
+
+    #[test]
+    fn scheduled_backend_produces_identical_parity() {
+        let _guard = BackendGuard;
+        for (k, m, len) in [(4usize, 2usize, 4096usize), (10, 4, 3001), (16, 4, 16 * 1024 + 7)] {
+            let rs = ReedSolomon::new(k, m).unwrap();
+            let data = sample(len);
+            set_rs_backend(RsBackend::Table);
+            let table = rs.encode_parity(&data);
+            set_rs_backend(RsBackend::Scheduled);
+            let scheduled = rs.encode_parity(&data);
+            assert_eq!(table, scheduled, "k={k} m={m} len={len}");
+        }
+    }
+
+    #[test]
+    fn scheduled_backend_repairs_erasures() {
+        let _guard = BackendGuard;
+        set_rs_backend(RsBackend::Scheduled);
+        let rs = ReedSolomon::new(6, 3).unwrap();
+        let data = sample(6 * 100 + 31);
+        let enc = rs.encode(&data);
+        let d = rs.device_size(data.len());
+        let mut bad = enc.clone();
+        for dev in [0usize, 2, 5] {
+            for b in &mut bad[dev * d..((dev + 1) * d).min(data.len())] {
+                *b = !*b;
+            }
+        }
+        let (out, report) = rs.decode(&bad, data.len()).unwrap();
+        assert_eq!(out, data);
+        assert!(report.corrected_devices >= 3);
     }
 }

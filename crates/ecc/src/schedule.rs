@@ -1,0 +1,524 @@
+//! Compiled XOR schedules for Reed-Solomon encode.
+//!
+//! The m×k Cauchy coefficient matrix expands entry-wise into an 8m×8k GF(2)
+//! bitmatrix ([`crate::bitmatrix`]); each of its rows says which input *bit
+//! planes* XOR together to form one output bit plane. This module compiles
+//! that bitmatrix into an explicit XOR *program* and executes it with the
+//! word-wide XOR kernel — no GF(2^8) table lookups in the hot loop, which is
+//! the program-optimization playbook of "Accelerating XOR-based Erasure
+//! Coding" (arXiv 2108.02692):
+//!
+//! 1. **Common-subexpression elimination.** Output rows of a dense random
+//!    bitmatrix share about a quarter of their terms pairwise. The compiler
+//!    repeatedly finds the pair of rows with the largest shared term set,
+//!    hoists the shared part into a temporary plane computed once, and
+//!    substitutes the temporary into both rows. Temporaries participate in
+//!    later rounds, so sharing compounds.
+//! 2. **Cache blocking.** The program runs strip-by-strip: a
+//!    [`STRIP_BYTES`]-sized slice of every device is transposed into bit
+//!    planes, the whole program executes over those L1/L2-resident strips,
+//!    and output planes are transposed back into parity bytes. Device bytes
+//!    in, device bytes out — the wire format is identical to the
+//!    table-driven byte-wise encoder.
+//!
+//! Compiled schedules are memoized per `(k, m)` beside the Cauchy
+//! coefficient cache, with a thread-local last-used slot so pool workers do
+//! not contend on the global lock.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::bitmatrix::{bytes_to_planes, planes_to_bytes, BitMatrix};
+use crate::gf256::{xor_slice, Gf};
+
+/// Bytes of each device processed per blocked pass (must be a multiple of
+/// 8). 1 KiB strips keep the full register file of the largest standard
+/// configuration (k + m = 255, plus temporaries) within ~512 KiB — inside
+/// L2 on anything current — while each XOR op still covers 128 bytes.
+pub const STRIP_BYTES: usize = 1024;
+
+/// Upper bound on CSE temporaries per schedule; a safety valve that bounds
+/// compile time and the executor's register file for very large (k, m).
+const MAX_TEMPS: usize = 2048;
+
+/// Upper bound on CSE rounds (each round scans all row pairs once).
+const MAX_ROUNDS: usize = 24;
+
+/// Minimum shared-term count worth hoisting: factoring a pair with `w`
+/// shared terms costs `w + 2` XORs and removes `2w`, so `w >= 3` is the
+/// break-even-plus-one floor.
+const MIN_SHARED: usize = 3;
+
+/// One XOR-program instruction over the plane register file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XorOp {
+    /// Destination register (output or temporary plane).
+    pub dst: usize,
+    /// Source register (input, temporary, or output plane).
+    pub src: usize,
+    /// `true` → `dst = src` (first term), `false` → `dst ^= src`.
+    pub init: bool,
+}
+
+/// Compile-time statistics for one schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScheduleStats {
+    /// XOR/copy ops the naive (unscheduled) bitmatrix would execute.
+    pub naive_xors: usize,
+    /// Ops in the compiled program.
+    pub scheduled_xors: usize,
+    /// Ops removed by common-subexpression elimination.
+    pub cse_saved: usize,
+    /// CSE temporaries allocated.
+    pub temps: usize,
+}
+
+/// A compiled, executable XOR schedule for one (k, m) Cauchy matrix.
+///
+/// Register file layout: `[0, 8k)` input planes, `[8k, 8k + 8m)` output
+/// planes, `[8k + 8m, ...)` temporaries.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// Data device count.
+    pub k: usize,
+    /// Code device count.
+    pub m: usize,
+    /// The program, temporaries first, in dependency order.
+    pub ops: Vec<XorOp>,
+    /// Temporary plane count.
+    pub n_temps: usize,
+    /// Compile statistics.
+    pub stats: ScheduleStats,
+}
+
+/// A growable bitset over plane columns.
+#[derive(Debug, Clone, Default)]
+struct Bitset {
+    words: Vec<u64>,
+}
+
+impl Bitset {
+    fn with_capacity(bits: usize) -> Bitset {
+        Bitset { words: vec![0u64; bits.div_ceil(64)] }
+    }
+
+    fn set(&mut self, bit: usize) {
+        let w = bit / 64;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        self.words[w] |= 1u64 << (bit % 64);
+    }
+
+    fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Popcount of the intersection with `other`.
+    fn shared(&self, other: &Bitset) -> usize {
+        self.words.iter().zip(&other.words).map(|(a, b)| (a & b).count_ones() as usize).sum()
+    }
+
+    /// The intersection as a new bitset.
+    fn intersection(&self, other: &Bitset) -> Bitset {
+        Bitset { words: self.words.iter().zip(&other.words).map(|(a, b)| a & b).collect() }
+    }
+
+    /// Remove every bit present in `other`.
+    fn subtract(&mut self, other: &Bitset) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Indices of set bits, ascending.
+    fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(wi * 64 + b)
+            })
+        })
+    }
+}
+
+impl Schedule {
+    /// Compile the XOR schedule for an m×k coefficient matrix.
+    ///
+    /// Deterministic: the same matrix always yields the byte-identical
+    /// program (pair scans run in index order, ties resolve to the lowest
+    /// pair), which the determinism test pins.
+    pub fn compile(coeffs: &[Gf], k: usize, m: usize) -> Schedule {
+        let bm = BitMatrix::expand(coeffs, k, m);
+        let n_in = 8 * k;
+        let n_out = 8 * m;
+        let naive_xors = bm.ones();
+
+        // Working rows: outputs first, temporaries appended as created.
+        // Each row's bitset spans input columns plus temp columns
+        // (temp t = column n_in + t).
+        let mut rows: Vec<Bitset> = (0..n_out)
+            .map(|r| {
+                let mut bs = Bitset::with_capacity(n_in);
+                for (wi, &w) in bm.row(r).iter().enumerate() {
+                    let mut bits = w;
+                    while bits != 0 {
+                        let b = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        bs.set(wi * 64 + b);
+                    }
+                }
+                bs
+            })
+            .collect();
+        let mut n_temps = 0usize;
+        // Temp rows (indices n_out..) live in the same vec; creation order
+        // is dependency order because a temp only references columns that
+        // already exist when it is created.
+        let mut round = 0usize;
+        while round < MAX_ROUNDS && n_temps < MAX_TEMPS {
+            round += 1;
+            // One greedy matching pass: each row pairs with its best
+            // partner, pairs processed in descending shared-count order.
+            let n_rows = rows.len();
+            let mut candidates: Vec<(usize, usize, usize)> = Vec::new();
+            for a in 0..n_rows {
+                let mut best = (0usize, 0usize);
+                for b in (a + 1)..n_rows {
+                    let s = rows[a].shared(&rows[b]);
+                    if s > best.0 {
+                        best = (s, b);
+                    }
+                }
+                if best.0 >= MIN_SHARED {
+                    candidates.push((best.0, a, best.1));
+                }
+            }
+            if candidates.is_empty() {
+                break;
+            }
+            candidates.sort_by(|x, y| (y.0, x.1, x.2).cmp(&(x.0, y.1, y.2)));
+            let mut used = vec![false; n_rows];
+            let mut factored = false;
+            for (_, a, b) in candidates {
+                if used[a] || used[b] || n_temps >= MAX_TEMPS {
+                    continue;
+                }
+                // Re-derive the intersection: earlier factorings this round
+                // may have shrunk either row.
+                let shared = rows[a].intersection(&rows[b]);
+                if shared.count() < MIN_SHARED {
+                    continue;
+                }
+                used[a] = true;
+                used[b] = true;
+                let temp_col = n_in + n_temps;
+                n_temps += 1;
+                rows[a].subtract(&shared);
+                rows[b].subtract(&shared);
+                rows[a].set(temp_col);
+                rows[b].set(temp_col);
+                rows.push(shared);
+                factored = true;
+            }
+            if !factored {
+                break;
+            }
+        }
+
+        // Emit: temps in dependency order, then output rows. Creation order
+        // is NOT dependency order — a round-1 temp that serves as a parent
+        // in a later factoring gains a reference to the newer temp split out
+        // of it — so run Kahn's algorithm over the temp-to-temp reference
+        // graph (acyclic by construction: a factoring's shared set never
+        // contains either parent's own column). Ready temps are taken
+        // smallest-index-first to keep emission deterministic.
+        //
+        // Column c maps to register: input c < n_in → c; temp c >= n_in →
+        // n_in + n_out + (c - n_in). Temp row index t lives at rows[n_out + t].
+        let temp_deps: Vec<Vec<usize>> = (0..n_temps)
+            .map(|t| rows[n_out + t].iter_ones().filter(|&c| c >= n_in).map(|c| c - n_in).collect())
+            .collect();
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n_temps];
+        let mut pending = vec![0usize; n_temps];
+        for (t, deps) in temp_deps.iter().enumerate() {
+            pending[t] = deps.len();
+            for &d in deps {
+                dependents[d].push(t);
+            }
+        }
+        let mut ready: std::collections::BTreeSet<usize> =
+            (0..n_temps).filter(|&t| pending[t] == 0).collect();
+        let mut temp_order = Vec::with_capacity(n_temps);
+        while let Some(&t) = ready.iter().next() {
+            ready.remove(&t);
+            temp_order.push(t);
+            for &dep in &dependents[t] {
+                pending[dep] -= 1;
+                if pending[dep] == 0 {
+                    ready.insert(dep);
+                }
+            }
+        }
+        debug_assert_eq!(temp_order.len(), n_temps, "cycle in temp dependency graph");
+
+        let reg_of = |col: usize| if col < n_in { col } else { n_in + n_out + (col - n_in) };
+        let mut ops = Vec::new();
+        let emit_row = |dst: usize, row: &Bitset, ops: &mut Vec<XorOp>| {
+            let mut first = true;
+            for col in row.iter_ones() {
+                ops.push(XorOp { dst, src: reg_of(col), init: first });
+                first = false;
+            }
+            if first {
+                // Empty row (possible only for a zero matrix row): emit a
+                // self-init so the output plane is still defined as zero.
+                ops.push(XorOp { dst, src: dst, init: true });
+            }
+        };
+        for &t in &temp_order {
+            emit_row(n_in + n_out + t, &rows[n_out + t], &mut ops);
+        }
+        for (r, row) in rows.iter().enumerate().take(n_out) {
+            emit_row(n_in + r, row, &mut ops);
+        }
+
+        let scheduled_xors = ops.len();
+        let stats = ScheduleStats {
+            naive_xors,
+            scheduled_xors,
+            cse_saved: naive_xors.saturating_sub(scheduled_xors),
+            temps: n_temps,
+        };
+        arc_telemetry::counter_add("ecc.schedule.compiled", 1);
+        arc_telemetry::counter_add("ecc.schedule.xors", scheduled_xors as u64);
+        arc_telemetry::counter_add("ecc.schedule.cse_saved", stats.cse_saved as u64);
+        Schedule { k, m, ops, n_temps, stats }
+    }
+
+    /// Registers in the executor's plane file.
+    fn n_regs(&self) -> usize {
+        8 * self.k + 8 * self.m + self.n_temps
+    }
+
+    /// Scratch bytes one execution needs (allocated once per encode call).
+    pub fn scratch_len(&self) -> usize {
+        self.n_regs() * (STRIP_BYTES / 8)
+    }
+
+    /// Execute the schedule: read data devices out of `data` (device `i` =
+    /// `data[i·d .. (i+1)·d]` zero-padded past `data.len()`), write the `m`
+    /// parity devices contiguously into `parity_devs` (`m·d` bytes).
+    ///
+    /// Devices listed in `zeroed` (sorted or not, typically empty) are read
+    /// as all-zero — the syndrome path uses this to exclude known-corrupt
+    /// devices without copying the buffer.
+    ///
+    /// `scratch` must be at least [`Schedule::scratch_len`] bytes.
+    pub fn encode_into(
+        &self,
+        data: &[u8],
+        d: usize,
+        parity_devs: &mut [u8],
+        zeroed: &[usize],
+        scratch: &mut [u8],
+    ) {
+        debug_assert!(parity_devs.len() >= self.m * d);
+        debug_assert!(scratch.len() >= self.scratch_len());
+        let n_in = 8 * self.k;
+        let mut offset = 0usize;
+        while offset < d {
+            let strip = STRIP_BYTES.min(d - offset);
+            let plane_len = strip.div_ceil(8);
+            // Load every data device's strip into input planes.
+            for i in 0..self.k {
+                let dst = &mut scratch[8 * i * plane_len..(8 * i + 8) * plane_len];
+                let start = (i * d + offset).min(data.len());
+                let end = (i * d + offset + strip).min(data.len());
+                if start >= end || zeroed.contains(&i) {
+                    dst.fill(0);
+                } else {
+                    bytes_to_planes(&data[start..end], dst, plane_len);
+                }
+            }
+            // Run the program over this strip.
+            for op in &self.ops {
+                if op.init && op.dst == op.src {
+                    scratch[op.dst * plane_len..(op.dst + 1) * plane_len].fill(0);
+                    continue;
+                }
+                let (lo, hi) = (op.dst.min(op.src), op.dst.max(op.src));
+                let (head, tail) = scratch.split_at_mut(hi * plane_len);
+                let a = &mut head[lo * plane_len..(lo + 1) * plane_len];
+                let b = &mut tail[..plane_len];
+                let (dst, src): (&mut [u8], &[u8]) = if op.dst < op.src { (a, b) } else { (b, a) };
+                if op.init {
+                    dst.copy_from_slice(src);
+                } else {
+                    xor_slice(dst, src);
+                }
+            }
+            // Transpose output planes back into parity device bytes.
+            for j in 0..self.m {
+                let src = &scratch[(n_in + 8 * j) * plane_len..(n_in + 8 * j + 8) * plane_len];
+                let dev = &mut parity_devs[j * d + offset..j * d + offset + strip];
+                planes_to_bytes(src, dev, plane_len);
+            }
+            offset += strip;
+        }
+    }
+}
+
+/// Per-(k, m) memo of compiled schedules, mirroring the Cauchy coefficient
+/// cache in [`crate::rs`].
+type ScheduleCache = Mutex<HashMap<(usize, usize), Arc<Schedule>>>;
+static SCHEDULE_CACHE: OnceLock<ScheduleCache> = OnceLock::new();
+
+/// `(k, m)` plus the schedule it maps to, for the thread-local slot.
+type ScheduleMemo = Option<((usize, usize), Arc<Schedule>)>;
+
+thread_local! {
+    /// Last schedule this worker used: pool threads re-encoding chunks of
+    /// the same configuration hit this slot instead of the global mutex.
+    static LAST_SCHEDULE: std::cell::RefCell<ScheduleMemo> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Fetch (compiling and memoizing on first use) the schedule for a
+/// coefficient matrix. The thread-local fast path makes the steady-state
+/// fetch lock-free for pool workers.
+pub fn schedule_for(coeffs: &[Gf], k: usize, m: usize) -> Arc<Schedule> {
+    let hit = LAST_SCHEDULE.with(|slot| {
+        slot.borrow()
+            .as_ref()
+            .and_then(|(key, sched)| if *key == (k, m) { Some(sched.clone()) } else { None })
+    });
+    if let Some(s) = hit {
+        return s;
+    }
+    let cache = SCHEDULE_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    // Poisoning only means another thread died mid-insert; the map is a
+    // plain memo, so recover the guard.
+    let mut map = cache.lock().unwrap_or_else(|p| p.into_inner());
+    let sched =
+        map.entry((k, m)).or_insert_with(|| Arc::new(Schedule::compile(coeffs, k, m))).clone();
+    drop(map);
+    LAST_SCHEDULE.with(|slot| *slot.borrow_mut() = Some(((k, m), sched.clone())));
+    sched
+}
+
+/// Compile statistics of the cached schedule for `(k, m)`, if one has been
+/// compiled in this process. `ecc_baseline` surfaces these into
+/// `BENCH_ecc.json` without requiring the telemetry feature.
+pub fn cached_stats(k: usize, m: usize) -> Option<ScheduleStats> {
+    let cache = SCHEDULE_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let map = cache.lock().unwrap_or_else(|p| p.into_inner());
+    map.get(&(k, m)).map(|s| s.stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gf256::mul_acc_slice;
+
+    fn cauchy(k: usize, m: usize) -> Vec<Gf> {
+        let mut out = Vec::with_capacity(k * m);
+        for j in 0..m {
+            for i in 0..k {
+                out.push(Gf(u8::try_from(j).unwrap() ^ u8::try_from(m + i).unwrap()).inv());
+            }
+        }
+        out
+    }
+
+    /// Reference encode: the table-driven byte-wise loop from rs.rs.
+    fn reference_parity(data: &[u8], d: usize, coeffs: &[Gf], k: usize, m: usize) -> Vec<u8> {
+        let mut parity = vec![0u8; m * d];
+        for j in 0..m {
+            let dev_start = j * d;
+            for i in 0..k {
+                let start = (i * d).min(data.len());
+                let end = ((i + 1) * d).min(data.len());
+                let dev = &mut parity[dev_start..dev_start + (end - start)];
+                mul_acc_slice(dev, &data[start..end], coeffs[j * k + i]);
+            }
+        }
+        parity
+    }
+
+    fn sample(n: usize) -> Vec<u8> {
+        (0..n).map(|i| ((i * 2654435761usize) >> 13) as u8).collect()
+    }
+
+    #[test]
+    fn scheduled_encode_matches_table_reference() {
+        for (k, m, len) in [
+            (4usize, 2usize, 4096usize),
+            (10, 4, 10 * 300 + 17),
+            (3, 3, 25),
+            (16, 4, 16 * STRIP_BYTES + 5), // multi-strip with ragged tail
+            (1, 1, 100),
+        ] {
+            let coeffs = cauchy(k, m);
+            let data = sample(len);
+            let d = len.div_ceil(k);
+            let sched = Schedule::compile(&coeffs, k, m);
+            let mut scratch = vec![0u8; sched.scratch_len()];
+            let mut parity = vec![0xA5u8; m * d];
+            sched.encode_into(&data, d, &mut parity, &[], &mut scratch);
+            let want = reference_parity(&data, d, &coeffs, k, m);
+            assert_eq!(parity, want, "k={k} m={m} len={len}");
+        }
+    }
+
+    #[test]
+    fn zeroed_devices_are_excluded() {
+        let (k, m, len) = (6usize, 3usize, 6 * 200usize);
+        let coeffs = cauchy(k, m);
+        let data = sample(len);
+        let d = len / k;
+        let sched = Schedule::compile(&coeffs, k, m);
+        let mut scratch = vec![0u8; sched.scratch_len()];
+        let mut parity = vec![0u8; m * d];
+        sched.encode_into(&data, d, &mut parity, &[1, 4], &mut scratch);
+        // Reference: same encode with devices 1 and 4 zeroed in the input.
+        let mut masked = data.clone();
+        for i in [1usize, 4] {
+            masked[i * d..(i + 1) * d].fill(0);
+        }
+        let want = reference_parity(&masked, d, &coeffs, k, m);
+        assert_eq!(parity, want);
+    }
+
+    #[test]
+    fn cse_reduces_xor_count() {
+        let sched = Schedule::compile(&cauchy(32, 8), 32, 8);
+        assert!(sched.stats.cse_saved > 0, "no sharing found: {:?}", sched.stats);
+        assert_eq!(sched.stats.naive_xors, sched.stats.scheduled_xors + sched.stats.cse_saved);
+        assert!(sched.stats.scheduled_xors < sched.stats.naive_xors);
+    }
+
+    #[test]
+    fn compile_is_deterministic() {
+        let coeffs = cauchy(17, 6);
+        let a = Schedule::compile(&coeffs, 17, 6);
+        let b = Schedule::compile(&coeffs, 17, 6);
+        assert_eq!(a.ops, b.ops);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn cache_returns_shared_schedule() {
+        let coeffs = cauchy(5, 2);
+        let a = schedule_for(&coeffs, 5, 2);
+        let b = schedule_for(&coeffs, 5, 2);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(cached_stats(5, 2).is_some());
+        assert_eq!(cached_stats(5, 2).unwrap(), a.stats);
+    }
+}

@@ -2,12 +2,14 @@
 # ECC throughput regression gate.
 #
 # Runs the `ecc_baseline` bench bin (default build — the `telemetry`
-# feature is off) and compares the fresh Reed-Solomon single-thread encode
-# throughput against the committed BENCH_ecc.json, at two thresholds:
+# feature is off) and compares the fresh Reed-Solomon encode throughput
+# against the committed BENCH_ecc.json, at two thresholds:
 #
-#   1. MAX_REGRESS_PCT (default 20%): the guard for the table-driven
-#      GF(2^8) kernels silently falling off their fast path. One run,
-#      hard fail.
+#   1. MAX_REGRESS_PCT (default 20%): the guard for the GF(2^8) kernels
+#      silently falling off their fast path. Checked at threads=1 AND at
+#      threads=max_threads (from the committed baseline), so a pool-path
+#      or thread-floor regression cannot hide behind a healthy
+#      single-thread number. One run, hard fail.
 #   2. TELEMETRY_MAX_REGRESS_PCT (default 2%): the compiled-out telemetry
 #      facade must cost nothing in the default build. 2% sits inside
 #      wall-clock noise on a shared machine, so a miss is retried up to
@@ -20,9 +22,16 @@
 # MIN_RANGE_SPEEDUP (default 2). A partial read that is not clearly
 # cheaper than a full decode means per-shard decoding broke.
 #
+# A fourth gate pins the DESIGN.md §13 fast-path win in absolute terms:
+# fresh RS threads=1 encode must be at least MIN_RS_SPEEDUP (default 2)
+# times the pre-optimization floor of LEGACY_RS_MIB_S (203.3 MiB/s, the
+# committed figure before the slice-by-16 CRC + GFNI/XOR-schedule work).
+# Relative gates drift with every re-record; this one cannot.
+#
 # Usage: scripts/bench_ecc.sh
 # Optional env: MAX_REGRESS_PCT=20 TELEMETRY_MAX_REGRESS_PCT=2
 #               TELEMETRY_GATE_RETRIES=3 MIN_RANGE_SPEEDUP=2
+#               MIN_RS_SPEEDUP=2 LEGACY_RS_MIB_S=203.3
 #
 # Parsing uses grep/sed/awk only (no jq dependency); it keys on the
 # hand-rolled one-object-per-line layout that ecc_baseline emits.
@@ -34,6 +43,8 @@ MAX_REGRESS_PCT="${MAX_REGRESS_PCT:-20}"
 TELEMETRY_MAX_REGRESS_PCT="${TELEMETRY_MAX_REGRESS_PCT:-2}"
 TELEMETRY_GATE_RETRIES="${TELEMETRY_GATE_RETRIES:-3}"
 MIN_RANGE_SPEEDUP="${MIN_RANGE_SPEEDUP:-2}"
+MIN_RS_SPEEDUP="${MIN_RS_SPEEDUP:-2}"
+LEGACY_RS_MIB_S="${LEGACY_RS_MIB_S:-203.3}"
 BASELINE=BENCH_ecc.json
 
 if [[ ! -f "$BASELINE" ]]; then
@@ -42,15 +53,23 @@ if [[ ! -f "$BASELINE" ]]; then
     exit 1
 fi
 
-# Extract the Reed-Solomon threads=1 encode_mib_s figure from a results file.
+# Extract the Reed-Solomon encode_mib_s figure at a given thread count
+# ($2) from a results file ($1).
 rs_encode() {
     grep '"scheme": "Reed-Solomon"' "$1" \
-        | grep '"threads": 1,' \
+        | grep "\"threads\": $2," \
         | sed -n 's/.*"encode_mib_s": \([0-9.]*\).*/\1/p' \
         | head -n 1
 }
 
-committed="$(rs_encode "$BASELINE")"
+# Thread counts to gate: 1 plus the baseline machine's max (deduped).
+baseline_max="$(sed -n 's/.*"max_threads": \([0-9]*\).*/\1/p' "$BASELINE" | head -n 1)"
+thread_points="1"
+if [[ -n "$baseline_max" && "$baseline_max" != "1" ]]; then
+    thread_points="1 $baseline_max"
+fi
+
+committed="$(rs_encode "$BASELINE" 1)"
 if [[ -z "$committed" ]]; then
     echo "error: no Reed-Solomon threads=1 entry in $BASELINE" >&2
     exit 1
@@ -61,23 +80,45 @@ fresh_json="$(mktemp)"
 trap 'rm -f "$fresh_json"' EXIT
 cargo run -p arc-bench --release --bin ecc_baseline > "$fresh_json"
 
-fresh="$(rs_encode "$fresh_json")"
+fresh="$(rs_encode "$fresh_json" 1)"
 if [[ -z "$fresh" ]]; then
     echo "error: bench output had no Reed-Solomon threads=1 entry" >&2
     exit 1
 fi
 
-echo "RS encode (threads=1): committed ${committed} MiB/s, fresh ${fresh} MiB/s"
-awk -v fresh="$fresh" -v committed="$committed" -v pct="$MAX_REGRESS_PCT" '
+# Gate 1: relative regression vs the committed baseline, per thread count.
+for t in $thread_points; do
+    committed_t="$(rs_encode "$BASELINE" "$t")"
+    fresh_t="$(rs_encode "$fresh_json" "$t")"
+    if [[ -z "$committed_t" || -z "$fresh_t" ]]; then
+        echo "error: missing Reed-Solomon threads=$t entry (committed='${committed_t}', fresh='${fresh_t}')" >&2
+        exit 1
+    fi
+    echo "RS encode (threads=$t): committed ${committed_t} MiB/s, fresh ${fresh_t} MiB/s"
+    awk -v fresh="$fresh_t" -v committed="$committed_t" -v pct="$MAX_REGRESS_PCT" -v t="$t" '
+    BEGIN {
+        floor = committed * (100 - pct) / 100
+        if (fresh < floor) {
+            printf "FAIL: threads=%d fresh %.1f MiB/s is below the %.0f%% floor of %.1f MiB/s\n",
+                t, fresh, 100 - pct, floor
+            exit 1
+        }
+        printf "OK: threads=%d fresh %.1f MiB/s >= %.0f%% floor of %.1f MiB/s\n",
+            t, fresh, 100 - pct, floor
+    }'
+done
+
+# Gate 2: absolute fast-path win vs the pre-optimization floor.
+awk -v fresh="$fresh" -v legacy="$LEGACY_RS_MIB_S" -v min="$MIN_RS_SPEEDUP" '
 BEGIN {
-    floor = committed * (100 - pct) / 100
-    if (fresh < floor) {
-        printf "FAIL: fresh %.1f MiB/s is below the %.0f%% floor of %.1f MiB/s\n",
-            fresh, 100 - pct, floor
+    need = legacy * min
+    if (fresh < need) {
+        printf "FAIL: RS threads=1 encode %.1f MiB/s is below %.1fx the legacy %.1f MiB/s floor (%.1f MiB/s)\n",
+            fresh, min, legacy, need
         exit 1
     }
-    printf "OK: fresh %.1f MiB/s >= %.0f%% floor of %.1f MiB/s\n",
-        fresh, 100 - pct, floor
+    printf "OK: RS threads=1 encode %.1f MiB/s >= %.1fx legacy floor (%.1f MiB/s, %.2fx)\n",
+        fresh, min, need, fresh / legacy
 }'
 
 # Random-access gate: decode_range of a shard-sized slice must beat a
