@@ -66,7 +66,7 @@ pub const DEFAULT_SHARD_SIZE: usize = 4 << 20;
 /// `u32`, decoded length `u32`, CRC-32 `u32`, scheme slot `u8` (reserved,
 /// always 0 — every v2 container currently uses one scheme for all
 /// shards).
-const INDEX_ENTRY_BYTES: usize = 21;
+pub(crate) const INDEX_ENTRY_BYTES: usize = 21;
 
 /// Sharding parameters carried by a v2 header.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -176,7 +176,7 @@ fn serialize_header(meta: &ContainerMeta) -> Vec<u8> {
     out
 }
 
-fn parse_header(bytes: &[u8]) -> Result<ContainerMeta, ArcError> {
+pub(crate) fn parse_header(bytes: &[u8]) -> Result<ContainerMeta, ArcError> {
     let bad = |d: &str| ArcError::Corrupted(format!("header: {d}"));
     if bytes.len() < 6 || &bytes[..4] != MAGIC {
         return Err(bad("bad magic"));
@@ -251,7 +251,7 @@ fn le_u32(bytes: &[u8], pos: usize) -> u32 {
 }
 
 /// Clamped little-endian `u16` load (see [`le_u64`]).
-fn le_u16(bytes: &[u8], pos: usize) -> u16 {
+pub(crate) fn le_u16(bytes: &[u8], pos: usize) -> u16 {
     let mut b = [0u8; 2];
     if let Some(src) = bytes.get(pos..pos + 2) {
         b.copy_from_slice(src);
@@ -311,7 +311,9 @@ pub fn write_header(meta: &ContainerMeta, out: &mut [u8]) -> Result<(), ArcError
 
 /// Serialize the shard index to its raw (pre-RS) byte form:
 /// `count u64 ‖ entries (21 B each) ‖ CRC-32` of everything preceding.
-fn serialize_index(entries: &[ShardEntry]) -> Vec<u8> {
+/// Shared with the streaming encoder (`crate::stream`), which assembles
+/// the identical index incrementally.
+pub(crate) fn serialize_index(entries: &[ShardEntry]) -> Vec<u8> {
     let mut raw = Vec::with_capacity(12 + entries.len() * INDEX_ENTRY_BYTES);
     raw.extend_from_slice(&(entries.len() as u64).to_le_bytes());
     for e in entries {
@@ -329,7 +331,7 @@ fn serialize_index(entries: &[ShardEntry]) -> Vec<u8> {
 /// RS-protect a raw index: split into maximal messages and encode each as
 /// its own codeword. The encoded length is a pure function of the raw
 /// length (and vice versa), so no extra framing is needed.
-fn rs_index_encode(raw: &[u8]) -> Result<Vec<u8>, ArcError> {
+pub(crate) fn rs_index_encode(raw: &[u8]) -> Result<Vec<u8>, ArcError> {
     let Ok(rs) = RsCodeword::new(INDEX_NSYM) else {
         return Err(ArcError::InvalidRequest("index RS codeword unavailable".into()));
     };
@@ -421,7 +423,7 @@ fn parse_index(raw: &[u8], meta: &ContainerMeta) -> Result<ShardIndex, ArcError>
 /// Recover the shard index from its three copies: first copy whose RS
 /// codewords decode *and* whose contents validate wins; if none does, a
 /// bitwise 2-of-3 majority vote across the copies gets one final attempt.
-fn recover_index(
+pub(crate) fn recover_index(
     copies: [&[u8]; 3],
     meta: &ContainerMeta,
 ) -> Result<(ShardIndex, IndexRepair), ArcError> {

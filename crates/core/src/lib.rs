@@ -55,6 +55,7 @@ pub mod failure;
 pub mod interface;
 pub mod optimizer;
 pub mod reader;
+pub mod stream;
 pub mod training;
 
 pub use constraints::{
@@ -81,6 +82,10 @@ pub use optimizer::{
     joint_optimizer, joint_optimizer_with, memory_optimizer, throughput_optimizer, Selection,
 };
 pub use reader::{ArcReader, CacheStats, RangeReport, DEFAULT_CACHE_CAPACITY};
+pub use stream::{
+    decode_batch, encode_batch, StreamDecodeStats, StreamDecoder, StreamEncodeStats, StreamEncoder,
+    StreamOptions, StreamSink,
+};
 pub use training::{
     probe_buffer, thread_ladder, train, Measurement, TrainingOptions, TrainingStats, TrainingTable,
 };

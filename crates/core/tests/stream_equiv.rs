@@ -1,0 +1,162 @@
+//! The streaming equivalence invariant that guards the wire format
+//! (DESIGN.md §14): for ANY push-size partition of ANY input,
+//! `StreamEncoder` output is byte-identical to the one-shot
+//! `encode_sharded` container, and `StreamDecoder` over ANY chunking of
+//! that container reproduces the input — across every built-in ECC family.
+
+use proptest::prelude::*;
+
+use arc_core::stream::{StreamDecoder, StreamEncoder, StreamOptions};
+use arc_core::{arc_engine_encode, arc_engine_encode_sharded, decode_batch, encode_batch};
+use arc_ecc::EccConfig;
+
+fn arb_config() -> impl Strategy<Value = EccConfig> {
+    prop_oneof![
+        (1usize..32).prop_map(|b| EccConfig::parity(b).unwrap()),
+        any::<bool>().prop_map(EccConfig::hamming),
+        any::<bool>().prop_map(EccConfig::secded),
+        (2usize..24, 1usize..8).prop_map(|(k, m)| EccConfig::rs(k, m).unwrap()),
+    ]
+}
+
+fn payload(len: usize) -> Vec<u8> {
+    (0..len).map(|i| ((i * 181) ^ (i >> 3) ^ 0xC3) as u8).collect()
+}
+
+/// Feed `data` to `enc` in pieces whose sizes cycle through `sizes`
+/// (empty `sizes` = one whole-buffer push).
+fn push_partitioned(
+    enc: &mut StreamEncoder<Vec<u8>>,
+    data: &[u8],
+    sizes: &[usize],
+) -> Result<(), arc_core::ArcError> {
+    if sizes.is_empty() {
+        return enc.push(data);
+    }
+    let mut pos = 0usize;
+    let mut i = 0usize;
+    while pos < data.len() {
+        let take = sizes[i % sizes.len()].max(1).min(data.len() - pos);
+        enc.push(&data[pos..pos + take])?;
+        pos += take;
+        i += 1;
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Streaming encode ≡ one-shot sharded encode, for any partition of
+    /// the input into pushes, any scheme, any shard size.
+    #[test]
+    fn stream_encode_matches_one_shot(
+        config in arb_config(),
+        data_len in 0usize..20_000,
+        shard_size in 1usize..6_000,
+        sizes in proptest::collection::vec(1usize..4096, 0..12),
+    ) {
+        let data = payload(data_len);
+        let reference = arc_engine_encode_sharded(&data, config, 1, shard_size).unwrap();
+        let opts = StreamOptions { shard_size, ..StreamOptions::default() };
+        let mut enc = StreamEncoder::new(Vec::new(), config, opts).unwrap();
+        push_partitioned(&mut enc, &data, &sizes).unwrap();
+        let (got, stats) = enc.finish().unwrap();
+        prop_assert_eq!(&got, &reference);
+        prop_assert_eq!(stats.data_len, data_len);
+        prop_assert_eq!(stats.container_len, reference.len());
+        prop_assert_eq!(stats.shards, data_len.div_ceil(shard_size.max(1)));
+    }
+
+    /// Streaming decode over any chunking of a v2 container reproduces
+    /// the input, and its stats agree with the container's geometry.
+    #[test]
+    fn stream_decode_reproduces_input(
+        config in arb_config(),
+        data_len in 0usize..16_000,
+        shard_size in 1usize..4_000,
+        chunk in 1usize..8192,
+    ) {
+        let data = payload(data_len);
+        let container = arc_engine_encode_sharded(&data, config, 1, shard_size).unwrap();
+        let mut dec = StreamDecoder::new();
+        let mut out = Vec::new();
+        for piece in container.chunks(chunk) {
+            dec.push(piece, &mut out).unwrap();
+        }
+        let stats = dec.finish().unwrap();
+        prop_assert_eq!(&out, &data);
+        prop_assert!(stats.correction.is_clean());
+        prop_assert_eq!(stats.shards, data_len.div_ceil(shard_size.max(1)));
+        prop_assert_eq!(stats.scheme_id, config.id());
+    }
+
+    /// Streaming decode also covers monolithic v1 containers (with the
+    /// documented O(payload) buffering) over any chunking.
+    #[test]
+    fn stream_decode_handles_v1(
+        config in arb_config(),
+        data_len in 0usize..8_000,
+        chunk in 1usize..4096,
+    ) {
+        let data = payload(data_len);
+        let container = arc_engine_encode(&data, config, 1).unwrap();
+        let mut dec = StreamDecoder::new();
+        let mut out = Vec::new();
+        for piece in container.chunks(chunk) {
+            dec.push(piece, &mut out).unwrap();
+        }
+        let stats = dec.finish().unwrap();
+        prop_assert_eq!(&out, &data);
+        prop_assert_eq!(stats.shards, 0);
+    }
+
+    /// The batch front-end changes scheduling, never bytes: every batch
+    /// element equals the singleton engine encode, and the batch decode
+    /// round-trips each request.
+    #[test]
+    fn batch_matches_singletons(
+        config in arb_config(),
+        lens in proptest::collection::vec(0usize..4_000, 1..6),
+        threads in 1usize..4,
+    ) {
+        let reqs: Vec<Vec<u8>> = lens.iter().map(|l| payload(*l)).collect();
+        let refs: Vec<&[u8]> = reqs.iter().map(|r| r.as_slice()).collect();
+        let batch = encode_batch(&refs, config, threads).unwrap();
+        for (req, got) in reqs.iter().zip(&batch) {
+            let single = arc_engine_encode(req, config, 1).unwrap();
+            prop_assert_eq!(got, &single);
+        }
+        let containers: Vec<&[u8]> = batch.iter().map(|b| b.as_slice()).collect();
+        for (req, item) in reqs.iter().zip(decode_batch(&containers, threads)) {
+            let (decoded, report) = item.unwrap();
+            prop_assert_eq!(&decoded, req);
+            prop_assert!(report.correction.is_clean());
+        }
+    }
+}
+
+/// Deterministic sweep over the full built-in configuration space — the
+/// acceptance criterion names "all built-in ECC schemes" explicitly, so
+/// don't leave it to sampling.
+#[test]
+fn every_builtin_scheme_streams_identically() {
+    let data = payload(10_240);
+    for config in EccConfig::standard_space() {
+        let shard_size = 3 << 10;
+        let reference = arc_engine_encode_sharded(&data, config, 1, shard_size).unwrap();
+        let opts = StreamOptions { shard_size, ..StreamOptions::default() };
+        let mut enc = StreamEncoder::new(Vec::new(), config, opts).unwrap();
+        push_partitioned(&mut enc, &data, &[1, 977, 4096]).unwrap();
+        let (got, _) = enc.finish().unwrap();
+        assert_eq!(got, reference, "{}", config.id());
+
+        let mut dec = StreamDecoder::new();
+        let mut out = Vec::new();
+        for piece in got.chunks(769) {
+            dec.push(piece, &mut out).unwrap();
+        }
+        dec.finish().unwrap();
+        assert_eq!(out, data, "{}", config.id());
+    }
+}

@@ -607,7 +607,7 @@ pub fn builtin_targets() -> Vec<DecodeTarget> {
     // Repeats hit the shard cache, so cache paths see hostile bytes too.
     targets.push(DecodeTarget {
         name: "container-range".to_string(),
-        streams: sharded_streams,
+        streams: sharded_streams.clone(),
         decode: Arc::new(|b, _budget| {
             let mut reader = arc_core::ArcReader::open(b, 1).map_err(|e| e.to_string())?;
             let n = reader.data_len();
@@ -623,6 +623,52 @@ pub fn builtin_targets() -> Vec<DecodeTarget> {
                 produced += out.len() as u64;
             }
             Ok(produced)
+        }),
+    });
+
+    // The push-based streaming decoder over the same v2 streams, fed in
+    // adversarial push sizes: a 1-byte drip across the length prefix and
+    // both header codewords (so every header-straddling cut is exercised),
+    // then odd-sized chunks for the shard bodies and index trailer, and a
+    // second whole-buffer pass. The decoder emits plaintext before the
+    // trailing index arrives, so its late cross-checks (index-vs-streamed
+    // geometry, whole-data CRC) are exactly what hostile bytes attack.
+    targets.push(DecodeTarget {
+        name: "stream-v2".to_string(),
+        streams: sharded_streams,
+        decode: Arc::new(|b, _budget| {
+            let drip = |sizes: &[usize]| -> Result<u64, String> {
+                let mut dec = arc_core::StreamDecoder::new();
+                let mut out = Vec::new();
+                let head = b.len().min(600);
+                for i in 0..head {
+                    dec.push(&b[i..i + 1], &mut out).map_err(|e| e.to_string())?;
+                }
+                let mut pos = head;
+                let mut i = 0usize;
+                while pos < b.len() {
+                    let take = sizes[i % sizes.len()].min(b.len() - pos);
+                    dec.push(&b[pos..pos + take], &mut out).map_err(|e| e.to_string())?;
+                    pos += take;
+                    i += 1;
+                }
+                dec.finish().map_err(|e| e.to_string())?;
+                Ok(out.len() as u64)
+            };
+            let dripped = drip(&[997, 3, 64, 1])?;
+            // Whole-buffer pass: chunking must never change the verdict.
+            let mut dec = arc_core::StreamDecoder::new();
+            let mut out = Vec::new();
+            dec.push(b, &mut out).map_err(|e| e.to_string())?;
+            dec.finish().map_err(|e| e.to_string())?;
+            if out.len() as u64 != dripped {
+                return Err(format!(
+                    "push-size dependent output: drip {} vs whole {}",
+                    dripped,
+                    out.len()
+                ));
+            }
+            Ok(dripped)
         }),
     });
 
@@ -683,6 +729,7 @@ mod tests {
                 "zstd-like",
                 "container",
                 "container-range",
+                "stream-v2",
                 "container-rs-scheduled",
             ]
         );

@@ -80,6 +80,35 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<(u64, u64)>,
 }
 
+impl HistogramSnapshot {
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) of the recorded values
+    /// by linear interpolation inside the log₂ bucket containing the
+    /// target rank. The estimate is coarse by construction — buckets
+    /// double — but it is monotone in `q` and always lies within the
+    /// true bucket's `[2^(i-1), 2^i - 1]` range. Returns 0 when the
+    /// histogram is empty.
+    pub fn percentile_estimate(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for &(le, n) in &self.buckets {
+            let below = cumulative;
+            cumulative += n;
+            if cumulative >= rank {
+                // Bucket i spans [2^(i-1), 2^i - 1]; from le = 2^i - 1 the
+                // lower bound is le/2 + 1 (bucket 0 holds only zeros).
+                let lo = if le == 0 { 0 } else { le / 2 + 1 };
+                let frac = (rank - below) as f64 / n as f64;
+                return lo + ((le - lo) as f64 * frac) as u64;
+            }
+        }
+        self.buckets.last().map_or(0, |&(le, _)| le)
+    }
+}
+
 /// One named event stream: how many times it fired and the most recent
 /// rendered detail string.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -831,6 +860,29 @@ mod tests {
             assert_eq!(snap.to_prometheus_text(), "");
             assert!(snap.to_json().contains("\"spans\": []"));
         }
+    }
+
+    #[test]
+    fn percentile_estimates_are_monotone_and_bucket_bounded() {
+        // 10 values in bucket le=1 (v=1), 80 in le=1023, 10 in le=4095.
+        let h = HistogramSnapshot {
+            name: "lat".into(),
+            count: 100,
+            sum: 0,
+            buckets: vec![(1, 10), (1023, 80), (4095, 10)],
+        };
+        let p10 = h.percentile_estimate(0.10);
+        let p50 = h.percentile_estimate(0.50);
+        let p99 = h.percentile_estimate(0.99);
+        assert_eq!(p10, 1, "rank 10 is the last value in the le=1 bucket");
+        assert!((512..=1023).contains(&p50), "p50={p50} must land in the le=1023 bucket");
+        assert!((2048..=4095).contains(&p99), "p99={p99} must land in the le=4095 bucket");
+        assert!(p10 <= p50 && p50 <= p99);
+        // Degenerate cases: empty histogram and out-of-range q.
+        let empty = HistogramSnapshot { name: "e".into(), count: 0, sum: 0, buckets: vec![] };
+        assert_eq!(empty.percentile_estimate(0.5), 0);
+        assert_eq!(h.percentile_estimate(-1.0), 1);
+        assert_eq!(h.percentile_estimate(2.0), h.percentile_estimate(1.0));
     }
 
     #[test]

@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# Streaming/traffic regression gate.
+#
+# Runs the `traffic_sim` bench bin (full mode, `telemetry` feature on —
+# the latency histograms flow through the arc-telemetry facade) and holds
+# it to three gates:
+#
+#   1. The bin's own acceptance asserts: a >=256 MiB streaming encode
+#      must keep peak live allocation below 25% of the input
+#      (MAX_PEAK_FRAC) while staying within 10% of one-shot sharded
+#      throughput (MIN_STREAM_RATIO). traffic_sim exits non-zero itself
+#      when either fails, so a violation can't slip past parsing.
+#   2. MAX_REGRESS_PCT (default 25%): fresh streaming MiB/s must not
+#      regress more than this against the committed BENCH_traffic.json.
+#      Wall-clock noise on shared machines only understates throughput,
+#      so a miss is retried up to GATE_RETRIES times and the best run
+#      is judged.
+#   3. Structural: the fresh JSON must carry per-class p50/p99 figures
+#      for both loops (the bin asserts their sanity internally).
+#
+# Usage: scripts/bench_traffic.sh
+# Optional env: MAX_REGRESS_PCT=25 GATE_RETRIES=2 MIN_STREAM_RATIO=0.9
+#               MAX_PEAK_FRAC=0.25
+#
+# Record / refresh the committed baseline with:
+#   cargo run -p arc-bench --release --features telemetry --bin traffic_sim \
+#       > BENCH_traffic.json
+#
+# Parsing uses grep/sed/awk only (no jq dependency); it keys on the
+# hand-rolled one-object-per-line layout that traffic_sim emits.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MAX_REGRESS_PCT="${MAX_REGRESS_PCT:-25}"
+GATE_RETRIES="${GATE_RETRIES:-2}"
+BASELINE=BENCH_traffic.json
+
+if [[ ! -f "$BASELINE" ]]; then
+    echo "error: $BASELINE not found; record it first with" >&2
+    echo "  cargo run -p arc-bench --release --features telemetry --bin traffic_sim > $BASELINE" >&2
+    exit 1
+fi
+
+# Extract a numeric field ($2) from the streaming section of a results
+# file ($1).
+stream_field() {
+    sed -n "s/.*\"$2\": \([0-9.]*\).*/\1/p" <(grep '"streaming"' "$1") | head -n 1
+}
+
+committed="$(stream_field "$BASELINE" stream_mib_s)"
+if [[ -z "$committed" ]]; then
+    echo "error: no stream_mib_s figure in $BASELINE" >&2
+    exit 1
+fi
+
+run_fresh() {
+    echo "==> cargo run -p arc-bench --release --features telemetry --bin traffic_sim"
+    cargo run -p arc-bench --release --features telemetry --bin traffic_sim > "$fresh_json"
+}
+
+fresh_json="$(mktemp)"
+trap 'rm -f "$fresh_json"' EXIT
+run_fresh
+
+fresh="$(stream_field "$fresh_json" stream_mib_s)"
+ratio="$(stream_field "$fresh_json" stream_vs_oneshot)"
+peak_frac="$(stream_field "$fresh_json" peak_frac)"
+if [[ -z "$fresh" || -z "$ratio" || -z "$peak_frac" ]]; then
+    echo "error: traffic_sim output is missing streaming figures" >&2
+    exit 1
+fi
+echo "streaming: fresh ${fresh} MiB/s (committed ${committed}), ratio ${ratio}x one-shot, peak_frac ${peak_frac}"
+
+# Structural gate: both loops report per-class percentiles.
+for cls in tile_read stream_write batch_encode; do
+    n="$(grep -c "\"class\": \"$cls\"" "$fresh_json")"
+    if [[ "$n" -lt 2 ]]; then
+        echo "FAIL: class $cls missing from one of the loops (found $n of 2)" >&2
+        exit 1
+    fi
+done
+echo "OK: closed+open loops report p50/p99 for all three classes"
+
+# Throughput regression gate, retried because noise only understates.
+best="$fresh"
+attempt=0
+while :; do
+    if awk -v f="$best" -v c="$committed" -v p="$MAX_REGRESS_PCT" \
+        'BEGIN { exit !(f >= c * (100 - p) / 100) }'; then
+        echo "OK: streaming ${best} MiB/s within ${MAX_REGRESS_PCT}% of committed ${committed} MiB/s"
+        break
+    fi
+    if (( attempt >= GATE_RETRIES )); then
+        echo "FAIL: streaming ${best} MiB/s regresses >${MAX_REGRESS_PCT}% vs committed ${committed} MiB/s" >&2
+        exit 1
+    fi
+    attempt=$((attempt + 1))
+    echo "retry ${attempt}/${GATE_RETRIES}: ${best} MiB/s below the floor, rerunning"
+    run_fresh
+    rerun="$(stream_field "$fresh_json" stream_mib_s)"
+    best="$(awk -v a="$best" -v b="$rerun" 'BEGIN { print (b > a) ? b : a }')"
+done

@@ -23,6 +23,12 @@
 # default). The sweep mutates every golden stream (bit flips, truncations,
 # length inflation, header/garbage splices) and fails on any decode panic,
 # hang, or over-budget allocation; see DESIGN.md §11.
+#
+# Optional: set ARC_SKIP_TRAFFIC=1 to skip the traffic_sim smoke run (on
+# by default). The smoke shrinks every phase of the streaming/traffic
+# harness but keeps its sanity assertions (peak-memory fraction, per-class
+# latency ordering); absolute throughput gates live in
+# scripts/bench_traffic.sh, which is not run here.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -45,9 +51,20 @@ cargo test --workspace -q
 echo "==> shard-geometry properties: cargo test -q -p arc-core --test shard_geometry"
 cargo test -q -p arc-core --test shard_geometry
 
+echo "==> streaming equivalence properties: cargo test -q -p arc-core --test stream_equiv"
+cargo test -q -p arc-core --test stream_equiv
+
+echo "==> streaming determinism + memory bound: cargo test -q -p arc-core --test stream_memory"
+cargo test -q -p arc-core --test stream_memory
+
 if [[ "${ARC_SKIP_HOSTILE:-0}" != "1" ]]; then
     echo "==> hostile-input sweep: cargo run --release -q -p arc-bench --bin hostile_corpus"
     cargo run --release -q -p arc-bench --bin hostile_corpus
+fi
+
+if [[ "${ARC_SKIP_TRAFFIC:-0}" != "1" ]]; then
+    echo "==> traffic smoke: cargo run --release -q -p arc-bench --features telemetry --bin traffic_sim -- --smoke"
+    cargo run --release -q -p arc-bench --features telemetry --bin traffic_sim -- --smoke > /dev/null
 fi
 
 if [[ "${ARC_SKIP_LINT:-0}" != "1" ]]; then

@@ -60,8 +60,9 @@ pub use arc_telemetry as telemetry;
 pub use arc_zfp as zfp;
 
 pub use arc_core::{
-    decode_with_threads, ArcContext, ArcDecodeReport, ArcError, ArcOptions, ArcReader, CacheStats,
-    EncodeRequest, ErrorResponse, MemoryConstraint, RangeReport, ResiliencyConstraint, Selection,
+    decode_batch, decode_with_threads, encode_batch, ArcContext, ArcDecodeReport, ArcError,
+    ArcOptions, ArcReader, CacheStats, EncodeRequest, ErrorResponse, MemoryConstraint, RangeReport,
+    ResiliencyConstraint, Selection, StreamDecoder, StreamEncoder, StreamOptions, StreamSink,
     SystemProfile, ThroughputConstraint, TrainingOptions, ANY_THREADS,
 };
 pub use arc_ecc::{EccConfig, EccMethod};
