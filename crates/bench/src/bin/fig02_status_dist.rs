@@ -22,7 +22,7 @@ fn main() {
         let field = dataset_at(scale, ds);
         for spec in paper_modes() {
             let (comp, stream) = compress_field(spec, &field);
-            let bits = sample_bits(stream.len() as u64 * 8, trials_per_pair, 0xF16_02);
+            let bits = sample_bits(stream.len() as u64 * 8, trials_per_pair, 0x000F_1602);
             let report = run_campaign(comp.as_ref(), &field.data, &stream, &bits);
             let counts = report.status_counts();
             for (i, (_, c)) in counts.iter().enumerate() {

@@ -25,7 +25,7 @@ fn main() {
     for (spec, bound) in modes {
         let (comp, stream) = compress_field(spec, &field);
         let total_bits = stream.len() as u64 * 8;
-        let bits = sample_bits(total_bits, trials, 0xF16_03);
+        let bits = sample_bits(total_bits, trials, 0x000F_1603);
         let report =
             run_campaign_with_bound(comp.as_ref(), &field.data, &stream, &bits, Some(bound));
         // Positional profile: deciles of the stream, mean % incorrect each.

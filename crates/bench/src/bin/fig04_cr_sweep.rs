@@ -29,7 +29,7 @@ fn main() {
             let comp = spec_t.build();
             let stream = comp.compress(&ds).expect("tuned compression");
             let total_bits = stream.len() as u64 * 8;
-            let bits = sample_bits(total_bits, trials, 0xF16_04);
+            let bits = sample_bits(total_bits, trials, 0x000F_1604);
             let bound = match spec {
                 CompressorSpec::SzPwRel(_) => BoundSpec::PwRel(tuned.param),
                 _ => BoundSpec::Abs(tuned.param),

@@ -43,7 +43,7 @@ fn main() {
                 DEFAULT_CHUNK_SIZE,
                 probe.len(),
                 error_count,
-                0xF16_10,
+                0x000F_1610,
             );
             let mut per_thread = Vec::new();
             for &t in &ladder {

@@ -41,7 +41,7 @@ fn main() {
         let field = dataset_at(scale, ds);
         let (_, stream) = compress_field(CompressorSpec::SzAbs(0.1), &field);
         let (protected, sel) = ctx.encode(&stream, &req).expect("arc_encode");
-        let bits = sample_bits(protected.len() as u64 * 8, trials, 0x6_3);
+        let bits = sample_bits(protected.len() as u64 * 8, trials, 0x63);
         let mut corrected = 0usize;
         let mut detected = 0usize;
         let mut silent = 0usize;

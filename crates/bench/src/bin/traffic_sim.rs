@@ -409,7 +409,7 @@ fn main() {
         // Warm the streaming path (thread spawn, lazy tables) off the clock.
         let mut enc = StreamEncoder::new(Discard::default(), config, opts).expect("encoder");
         enc.push(&data[..warm]).expect("push");
-        drop(enc.finish().expect("finish"));
+        let _ = enc.finish().expect("finish");
     }
     let mut stream_s = f64::INFINITY;
     let mut peak_bytes = 0usize;

@@ -124,7 +124,7 @@ pub fn fmt(v: f64) -> String {
     let a = v.abs();
     if a == 0.0 {
         "0".into()
-    } else if a >= 1e6 || a < 1e-3 {
+    } else if !(1e-3..1e6).contains(&a) {
         format!("{v:.3e}")
     } else if a >= 100.0 {
         format!("{v:.1}")

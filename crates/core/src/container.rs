@@ -178,19 +178,23 @@ fn serialize_header(meta: &ContainerMeta) -> Vec<u8> {
 
 pub(crate) fn parse_header(bytes: &[u8]) -> Result<ContainerMeta, ArcError> {
     let bad = |d: &str| ArcError::Corrupted(format!("header: {d}"));
+    // arc-lint: bounded(bytes.len() < 6 short-circuits first in this condition)
     if bytes.len() < 6 || &bytes[..4] != MAGIC {
         return Err(bad("bad magic"));
     }
+    // arc-lint: bounded(bytes.len() >= 6 checked above)
     let version = bytes[4];
     if version != VERSION && version != VERSION_SHARDED {
         return Err(bad("unsupported version"));
     }
     let sharded = version == VERSION_SHARDED;
+    // arc-lint: bounded(bytes.len() >= 6 checked above)
     let id_len = bytes[5] as usize;
     let fixed = 6 + id_len + 8 + 8 + 8 + if sharded { 8 + 8 } else { 0 } + 4;
     if bytes.len() < fixed {
         return Err(bad("truncated"));
     }
+    // arc-lint: bounded(bytes.len() >= fixed >= 6 + id_len checked above)
     let id = std::str::from_utf8(&bytes[6..6 + id_len]).map_err(|_| bad("config id not UTF-8"))?;
     if id.is_empty() {
         return Err(bad("empty scheme id"));
@@ -301,10 +305,15 @@ pub fn write_header(meta: &ContainerMeta, out: &mut [u8]) -> Result<(), ArcError
         )));
     }
     let len = (codeword.len() as u16).to_le_bytes();
+    // arc-lint: bounded(out.len() == 6 + 2 * codeword.len() checked at entry)
     out[0..2].copy_from_slice(&len);
+    // arc-lint: bounded(out.len() == 6 + 2 * codeword.len() checked at entry)
     out[2..4].copy_from_slice(&len);
+    // arc-lint: bounded(out.len() == 6 + 2 * codeword.len() checked at entry)
     out[4..6].copy_from_slice(&len);
+    // arc-lint: bounded(out.len() == 6 + 2 * codeword.len() checked at entry)
     out[6..6 + codeword.len()].copy_from_slice(&codeword);
+    // arc-lint: bounded(out.len() == 6 + 2 * codeword.len() checked at entry)
     out[6 + codeword.len()..].copy_from_slice(&codeword);
     Ok(())
 }
@@ -379,10 +388,12 @@ fn parse_index(raw: &[u8], meta: &ContainerMeta) -> Result<ShardIndex, ArcError>
     if raw.len() != expect {
         return Err(bad("length disagrees with entry count"));
     }
+    // arc-lint: bounded(raw.len() == count * INDEX_ENTRY_BYTES + 12 >= 12 checked above)
     if le_u32(raw, raw.len() - 4) != crc32(&raw[..raw.len() - 4]) {
         return Err(bad("CRC mismatch"));
     }
     let sharding = meta.sharding.ok_or_else(|| bad("index present on an unsharded container"))?;
+    // arc-lint: bounded(count * INDEX_ENTRY_BYTES + 12 == raw.len() checked above)
     let mut entries = Vec::with_capacity(count);
     let mut next_offset = 0usize;
     let mut total_decoded = 0usize;
@@ -392,6 +403,7 @@ fn parse_index(raw: &[u8], meta: &ContainerMeta) -> Result<ShardIndex, ArcError>
         let encoded_len = le_u32(raw, base + 8) as usize;
         let decoded_len = le_u32(raw, base + 12) as usize;
         let crc = le_u32(raw, base + 16);
+        // arc-lint: bounded(base + 20 < raw.len() by the entry-count length equality above)
         if raw[base + 20] != 0 {
             return Err(bad("unknown per-shard scheme slot"));
         }

@@ -84,7 +84,11 @@ fn decode_expecting(
     method: EccMethod,
 ) -> Result<(Vec<u8>, ArcDecodeReport), ArcError> {
     let (data, report) = decode_with_threads(bytes, threads)?;
-    let config = report.config.expect("builtin decode always resolves a config");
+    let Some(config) = report.config else {
+        return Err(ArcError::InvalidRequest(
+            "decode resolved no ECC configuration for this container".into(),
+        ));
+    };
     if config.method() != method {
         return Err(ArcError::InvalidRequest(format!(
             "container was encoded with {config}, not {}",

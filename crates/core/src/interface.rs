@@ -194,6 +194,7 @@ impl ArcContext {
             sharding: None,
         };
         let hlen = container::header_len(&meta);
+        // arc-lint: bounded(encode path; sized from the caller's own payload, not decoded input)
         let mut out = vec![0u8; hlen + meta.payload_len];
         container::write_header(&meta, &mut out[..hlen])?;
         let t0 = std::time::Instant::now();
@@ -380,6 +381,7 @@ fn decode_sharded_payload(
     index: &container::ShardIndex,
     data_len: usize,
 ) -> Result<(Vec<u8>, CorrectionReport), ArcError> {
+    // arc-lint: bounded(data_len <= unpacked.payload.len() checked by both callers)
     let mut data = vec![0u8; data_len];
     let mut merged = CorrectionReport::default();
     let mut scratch: Vec<u8> = Vec::new();

@@ -77,16 +77,14 @@ fn resolve_threads(
     match bw {
         ThroughputConstraint::Any => {
             // No floor: take the fastest measured point.
-            let best =
-                points.iter().cloned().max_by(|a, b| a.1.total_cmp(&b.1)).expect("non-empty");
+            let best = points.iter().cloned().max_by(|a, b| a.1.total_cmp(&b.1))?;
             Some((best.0, best.1, best.2, true))
         }
         ThroughputConstraint::MbPerS(floor) => {
             if let Some(&(t, e, d)) = points.iter().find(|&&(_, e, _)| e >= *floor) {
                 Some((t, e, d, true))
             } else {
-                let best =
-                    points.iter().cloned().max_by(|a, b| a.1.total_cmp(&b.1)).expect("non-empty");
+                let best = points.iter().cloned().max_by(|a, b| a.1.total_cmp(&b.1))?;
                 Some((best.0, best.1, best.2, false))
             }
         }
@@ -161,19 +159,22 @@ pub fn joint_optimizer_with(
                     best.config, best.encode_mb_s
                 ));
                 (*best).clone()
-            } else {
+            } else if let Some(best) = candidates
+                .iter()
+                .min_by(|a, b| (a.overhead - f).abs().total_cmp(&(b.overhead - f).abs()))
+            {
                 // Nothing fits the budget at all: closest overhead wins and
                 // a warning is attached (Fig 12a's RS-at-0.05 case).
-                let best = candidates
-                    .iter()
-                    .min_by(|a, b| (a.overhead - f).abs().total_cmp(&(b.overhead - f).abs()))
-                    .expect("non-empty");
                 notes.push(format!(
                     "memory constraint {f} is below every admitted configuration; \
                      going over budget with {} ({:.3})",
                     best.config, best.overhead
                 ));
                 best.clone()
+            } else {
+                // Unreachable (candidates is non-empty above), but the
+                // optimizer must degrade, never abort.
+                return Err(ArcError::NotTrained);
             }
         }
         (MemoryConstraint::Any, ThroughputConstraint::MbPerS(floor)) => {
@@ -185,17 +186,19 @@ pub fn joint_optimizer_with(
                 // Above but closest to the floor — the strongest protection
                 // that still keeps pace (Fig 11b).
                 (*best).clone()
-            } else {
-                let best = candidates
-                    .iter()
-                    .max_by(|a, b| a.encode_mb_s.total_cmp(&b.encode_mb_s))
-                    .expect("non-empty");
+            } else if let Some(best) =
+                candidates.iter().max_by(|a, b| a.encode_mb_s.total_cmp(&b.encode_mb_s))
+            {
                 notes.push(format!(
                     "no admitted configuration reaches {floor} MB/s; \
                      best effort is {} at {:.2} MB/s",
                     best.config, best.encode_mb_s
                 ));
                 best.clone()
+            } else {
+                // Unreachable (candidates is non-empty above), but the
+                // optimizer must degrade, never abort.
+                return Err(ArcError::NotTrained);
             }
         }
         (MemoryConstraint::Any, ThroughputConstraint::Any) => {
@@ -213,19 +216,25 @@ pub fn joint_optimizer_with(
                             .filter(|c| c.config.method() == m)
                             .max_by(|a, b| a.encode_mb_s.total_cmp(&b.encode_mb_s))
                     };
-                    fastest(arc_ecc::EccMethod::SecDed)
+                    // A custom constraint can admit neither SEC-DED nor
+                    // Reed-Solomon; fall back to the most robust candidate
+                    // rather than aborting the selection.
+                    match fastest(arc_ecc::EccMethod::SecDed)
                         .or_else(|| fastest(arc_ecc::EccMethod::Rs))
-                        .expect("non-empty")
-                        .clone()
+                        .or_else(|| {
+                            candidates.iter().max_by(|a, b| a.overhead.total_cmp(&b.overhead))
+                        }) {
+                        Some(best) => best.clone(),
+                        None => return Err(ArcError::NotTrained),
+                    }
                 }
                 // Otherwise: the most robust admitted configuration
                 // (Algorithm 1's ARC_ANY_* defaults "provide the most
                 // robust ECC configuration").
-                _ => candidates
-                    .iter()
-                    .max_by(|a, b| a.overhead.total_cmp(&b.overhead))
-                    .expect("non-empty")
-                    .clone(),
+                _ => match candidates.iter().max_by(|a, b| a.overhead.total_cmp(&b.overhead)) {
+                    Some(best) => best.clone(),
+                    None => return Err(ArcError::NotTrained),
+                },
             }
         }
     };

@@ -299,6 +299,7 @@ impl<'a> ArcReader<'a> {
                 self.meta.data_len
             )));
         }
+        // arc-lint: bounded(len is the caller's request, validated against the container extent above)
         let mut out = Vec::with_capacity(len);
         let mut report = RangeReport::default();
         if len == 0 {

@@ -93,6 +93,7 @@ impl BitMatrix {
     pub fn expand(coeffs: &[Gf], k: usize, m: usize) -> BitMatrix {
         debug_assert_eq!(coeffs.len(), k * m);
         let words_per_row = (8 * k).div_ceil(64);
+        // arc-lint: bounded(m and words_per_row derive from GF(256) code dims, both <= 255)
         let mut rows = vec![0u64; 8 * m * words_per_row];
         for j in 0..m {
             for i in 0..k {
@@ -253,9 +254,9 @@ mod tests {
         assert_eq!(transpose8x8(transpose8x8(x)), x);
         let t = transpose8x8(x).to_le_bytes();
         let src = x.to_le_bytes();
-        for (i, _) in t.iter().enumerate() {
-            for j in 0..8 {
-                assert_eq!((t[i] >> j) & 1, (src[j] >> i) & 1, "i={i} j={j}");
+        for (i, ti) in t.iter().enumerate() {
+            for (j, sj) in src.iter().enumerate() {
+                assert_eq!((ti >> j) & 1, (sj >> i) & 1, "i={i} j={j}");
             }
         }
     }

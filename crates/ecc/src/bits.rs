@@ -287,7 +287,7 @@ mod tests {
             for groups in [1usize, 7, 8, 9, 63, 64, 65, 200] {
                 let total_bits = groups as u64 * width as u64;
                 let len = total_bits.div_ceil(8) as usize;
-                let value = |g: usize| (g as u64 * 2654435761 >> 7) & ((1u64 << width) - 1);
+                let value = |g: usize| ((g as u64 * 2654435761) >> 7) & ((1u64 << width) - 1);
                 let mut reference = vec![0u8; len];
                 for g in 0..groups {
                     let v = value(g);

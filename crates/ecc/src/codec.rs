@@ -205,41 +205,6 @@ pub trait EccScheme: Send + Sync {
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn report_merge_accumulates() {
-        let mut a =
-            CorrectionReport { corrected_bits: 1, corrected_devices: 0, blocks_checked: 10 };
-        let b = CorrectionReport { corrected_bits: 2, corrected_devices: 3, blocks_checked: 5 };
-        a.merge(&b);
-        assert_eq!(a.corrected_bits, 3);
-        assert_eq!(a.corrected_devices, 3);
-        assert_eq!(a.blocks_checked, 15);
-        assert!(!a.is_clean());
-        assert!(CorrectionReport::default().is_clean());
-    }
-
-    #[test]
-    fn single_correct_rate_scales_with_sqrt() {
-        let r1 = single_correct_rate_per_mb(131_072.0); // Hamming(72,64)
-        let r2 = single_correct_rate_per_mb(1_048_576.0); // Hamming(12,8)
-        assert!(r1 > 40.0 && r1 < 60.0, "r1={r1}");
-        assert!((r2 / r1 - (8.0f64).sqrt()).abs() < 0.1);
-        // Never below one error per MB.
-        assert_eq!(single_correct_rate_per_mb(0.0), 1.0);
-    }
-
-    #[test]
-    fn error_display_is_informative() {
-        let e = EccError::Uncorrectable { scheme: "secded", detail: "double-bit".into() };
-        assert!(e.to_string().contains("secded"));
-        assert!(e.to_string().contains("double-bit"));
-    }
-}
-
 impl EccScheme for std::sync::Arc<dyn EccScheme> {
     fn name(&self) -> &'static str {
         (**self).name()
@@ -275,5 +240,40 @@ impl EccScheme for std::sync::Arc<dyn EccScheme> {
     }
     fn min_bytes_per_thread(&self) -> usize {
         (**self).min_bytes_per_thread()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_merge_accumulates() {
+        let mut a =
+            CorrectionReport { corrected_bits: 1, corrected_devices: 0, blocks_checked: 10 };
+        let b = CorrectionReport { corrected_bits: 2, corrected_devices: 3, blocks_checked: 5 };
+        a.merge(&b);
+        assert_eq!(a.corrected_bits, 3);
+        assert_eq!(a.corrected_devices, 3);
+        assert_eq!(a.blocks_checked, 15);
+        assert!(!a.is_clean());
+        assert!(CorrectionReport::default().is_clean());
+    }
+
+    #[test]
+    fn single_correct_rate_scales_with_sqrt() {
+        let r1 = single_correct_rate_per_mb(131_072.0); // Hamming(72,64)
+        let r2 = single_correct_rate_per_mb(1_048_576.0); // Hamming(12,8)
+        assert!(r1 > 40.0 && r1 < 60.0, "r1={r1}");
+        assert!((r2 / r1 - (8.0f64).sqrt()).abs() < 0.1);
+        // Never below one error per MB.
+        assert_eq!(single_correct_rate_per_mb(0.0), 1.0);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = EccError::Uncorrectable { scheme: "secded", detail: "double-bit".into() };
+        assert!(e.to_string().contains("secded"));
+        assert!(e.to_string().contains("double-bit"));
     }
 }

@@ -656,6 +656,7 @@ impl Poly {
     /// Polynomial addition.
     pub fn add(&self, rhs: &Poly) -> Poly {
         let n = self.coeffs.len().max(rhs.coeffs.len());
+        // arc-lint: bounded(RS polynomials over GF(256) have degree <= 255)
         let mut out = Vec::with_capacity(n);
         for i in 0..n {
             out.push(self.coeff(i).add(rhs.coeff(i)));
@@ -690,6 +691,7 @@ impl Poly {
         if self.is_zero() {
             return Poly::zero();
         }
+        // arc-lint: bounded(RS shift distance is bounded by the codeword degree <= 255)
         let mut out = vec![Gf::ZERO; k];
         out.extend_from_slice(&self.coeffs);
         Poly::from_coeffs(out)

@@ -71,7 +71,9 @@ impl Layout {
         let d = width.data_bits();
         let r = width.hamming_parity_bits();
         let n = d + r;
+        // arc-lint: bounded(d, n, r derive from the fixed BlockWidth enum (<= 64 data bits))
         let mut data_pos = Vec::with_capacity(d as usize);
+        // arc-lint: bounded(n = d + r derives from the fixed BlockWidth enum)
         let mut pos_to_databit = vec![None; (n + 1) as usize];
         let mut j = 0u32;
         for pos in 1..=n {
@@ -82,6 +84,7 @@ impl Layout {
             }
         }
         debug_assert_eq!(j, d);
+        // arc-lint: bounded(r derives from the fixed BlockWidth enum)
         let mut data_masks = vec![0u64; r as usize];
         for (bit, &pos) in data_pos.iter().enumerate() {
             for (i, mask) in data_masks.iter_mut().enumerate() {

@@ -364,6 +364,7 @@ impl<S: EccScheme> ParallelCodec<S> {
         let merged = match self.pool_for(data_len) {
             Some(pool) => {
                 let mut jobs: Vec<(&mut [u8], &mut [u8])> =
+                    // arc-lint: bounded(chunk count of a buffer already held in memory)
                     Vec::with_capacity(data_len.div_ceil(self.chunk_size));
                 let mut parity_rest = parity_all;
                 for chunk in data_all.chunks_mut(self.chunk_size) {

@@ -131,6 +131,7 @@ impl EccScheme for Replication {
         }
         let mut corrected_bytes = 0u64;
         for i in 0..n {
+            // arc-lint: bounded(copies is a small config constant validated at construction)
             let mut counts: Vec<(u8, usize)> = Vec::with_capacity(self.copies);
             let bump = |b: u8, counts: &mut Vec<(u8, usize)>| {
                 if let Some(e) = counts.iter_mut().find(|(v, _)| *v == b) {

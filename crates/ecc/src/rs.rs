@@ -98,6 +98,7 @@ fn with_plane_scratch<R>(len: usize, f: impl FnOnce(&mut [u8]) -> R) -> R {
     PLANE_SCRATCH.with(|s| {
         let mut buf = s.borrow_mut();
         if buf.len() < len {
+            // arc-lint: bounded(scratch for MAX_TEMPS-capped schedules over planes of an in-memory buffer)
             buf.resize(len, 0);
         }
         f(&mut buf[..len])
@@ -161,6 +162,7 @@ impl ReedSolomon {
         let coeffs = map
             .entry(key)
             .or_insert_with(|| {
+                // arc-lint: bounded(m, k <= 255 so the matrix is at most 255x255 coefficients)
                 let mut rows = Vec::with_capacity(self.m * self.k);
                 for j in 0..self.m {
                     for i in 0..self.k {
@@ -237,12 +239,14 @@ impl ReedSolomon {
         let rows = &good_parity[..t];
         let coeffs = self.coeff_matrix();
         // rhs_r = parity[rows[r]] − Σ_{good i} C[rows[r]][i]·data_i
+        // arc-lint: bounded(t <= m <= 255 erasure rows)
         let mut rhs: Vec<Vec<u8>> = Vec::with_capacity(t);
         if resolved_rs_backend() == RsBackend::Scheduled {
             // Syndromes through the scheduled kernel: recompute the full
             // parity with the erased devices read as zero, then each rhs row
             // is stored ⊕ recomputed. Same XOR program as encode.
             let sched = schedule_for(&coeffs, self.k, self.m);
+            // arc-lint: bounded(m <= 255 planes of a payload already held in memory)
             let mut recomputed = vec![0u8; self.m * d];
             with_plane_scratch(sched.scratch_len(), |scratch| {
                 sched.encode_into(data, d, &mut recomputed, bad_data, scratch);
@@ -267,6 +271,7 @@ impl ReedSolomon {
             }
         }
         // Dense t×t system: A[r][c] = C[rows[r]][bad_data[c]].
+        // arc-lint: bounded(t <= m <= 255 so the system is at most 255x255)
         let mut a = vec![Gf::ZERO; t * t];
         for (r, &j) in rows.iter().enumerate() {
             for (c, &i) in bad_data.iter().enumerate() {

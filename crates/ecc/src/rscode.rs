@@ -85,6 +85,7 @@ impl RsCodeword {
         );
         // Remainder of msg·x^nsym mod g(x); polynomial coefficient i is the
         // symbol at distance i from the *end* of the codeword.
+        // arc-lint: bounded(nsym <= 255 enforced at RsCodeword construction)
         let mut coeffs = vec![Gf::ZERO; self.nsym];
         coeffs.extend(msg.iter().rev().map(|&b| Gf(b)));
         let rem = Poly::from_coeffs(coeffs).rem(&self.generator);

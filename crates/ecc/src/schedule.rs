@@ -99,12 +99,14 @@ struct Bitset {
 
 impl Bitset {
     fn with_capacity(bits: usize) -> Bitset {
+        // arc-lint: bounded(callers size bitsets from GF(256) code dims, bits <= 8 * 255)
         Bitset { words: vec![0u64; bits.div_ceil(64)] }
     }
 
     fn set(&mut self, bit: usize) {
         let w = bit / 64;
         if w >= self.words.len() {
+            // arc-lint: bounded(grows to the highest set bit, <= 8 * 255 for GF(256) dims)
             self.words.resize(w + 1, 0);
         }
         self.words[w] |= 1u64 << (bit % 64);
@@ -164,6 +166,7 @@ impl Schedule {
         // (temp t = column n_in + t).
         let mut rows: Vec<Bitset> = (0..n_out)
             .map(|r| {
+                // arc-lint: bounded(n_in = 8k bits with k <= 255)
                 let mut bs = Bitset::with_capacity(n_in);
                 for (wi, &w) in bm.row(r).iter().enumerate() {
                     let mut bits = w;
@@ -203,6 +206,7 @@ impl Schedule {
                 break;
             }
             candidates.sort_by(|x, y| (y.0, x.1, x.2).cmp(&(x.0, y.1, y.2)));
+            // arc-lint: bounded(n_rows = 8m bits with m <= 255)
             let mut used = vec![false; n_rows];
             let mut factored = false;
             for (_, a, b) in candidates {
@@ -244,7 +248,9 @@ impl Schedule {
         let temp_deps: Vec<Vec<usize>> = (0..n_temps)
             .map(|t| rows[n_out + t].iter_ones().filter(|&c| c >= n_in).map(|c| c - n_in).collect())
             .collect();
+        // arc-lint: bounded(n_temps is capped by MAX_TEMPS)
         let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n_temps];
+        // arc-lint: bounded(n_temps is capped by MAX_TEMPS)
         let mut pending = vec![0usize; n_temps];
         for (t, deps) in temp_deps.iter().enumerate() {
             pending[t] = deps.len();
@@ -254,6 +260,7 @@ impl Schedule {
         }
         let mut ready: std::collections::BTreeSet<usize> =
             (0..n_temps).filter(|&t| pending[t] == 0).collect();
+        // arc-lint: bounded(n_temps is capped by MAX_TEMPS)
         let mut temp_order = Vec::with_capacity(n_temps);
         while let Some(&t) = ready.iter().next() {
             ready.remove(&t);

@@ -23,8 +23,9 @@ impl CampaignReport {
     pub fn status_counts(&self) -> [(ReturnStatus, usize); 4] {
         let mut counts = [0usize; 4];
         for t in &self.trials {
-            let idx = ReturnStatus::ALL.iter().position(|s| *s == t.status).unwrap();
-            counts[idx] += 1;
+            if let Some(idx) = ReturnStatus::ALL.iter().position(|s| *s == t.status) {
+                counts[idx] += 1;
+            }
         }
         [
             (ReturnStatus::ALL[0], counts[0]),

@@ -1,0 +1,18 @@
+//! `declared` comes straight out of the input framing; allocating it
+//! unclamped lets a 10-byte container demand gigabytes.
+
+// arc-lint: decode-root
+pub fn decode(bytes: &[u8]) -> Vec<u8> {
+    let declared = read_len(bytes);
+    grow(declared)
+}
+
+fn grow(declared: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(declared);
+    out.resize(declared, 0);
+    out
+}
+
+fn read_len(bytes: &[u8]) -> usize {
+    bytes.first().copied().unwrap_or(0) as usize * 65536
+}

@@ -1,0 +1,19 @@
+//! Input-derived sizes are clamped to an explicit budget, or carry a
+//! written proof of the upstream guard.
+
+// arc-lint: decode-root
+pub fn decode(bytes: &[u8]) -> Result<Vec<u8>, String> {
+    let declared = read_len(bytes);
+    if declared > bytes.len() {
+        return Err("declared length exceeds the input".to_string());
+    }
+    // A bounding call in the size expression is proof enough on its own.
+    let mut out = Vec::with_capacity(declared.min(1 << 20));
+    // arc-lint: bounded(declared <= bytes.len() checked above)
+    out.resize(declared, 0);
+    Ok(out)
+}
+
+fn read_len(bytes: &[u8]) -> usize {
+    bytes.first().copied().unwrap_or(0) as usize * 65536
+}

@@ -1,0 +1,10 @@
+//! A raw `bytes[0]` below a decode root: hostile input chooses the length.
+
+// arc-lint: decode-root
+pub fn decode(bytes: &[u8]) -> u8 {
+    pick(bytes)
+}
+
+fn pick(bytes: &[u8]) -> u8 {
+    bytes[0]
+}

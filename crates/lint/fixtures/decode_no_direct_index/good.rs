@@ -1,0 +1,25 @@
+//! Every subscript in the cone is either `.get()`-based or carries a
+//! written bounds proof; outside the cone the rule stays quiet.
+
+// arc-lint: decode-root
+pub fn decode(bytes: &[u8]) -> u8 {
+    pick(bytes).wrapping_add(checked(bytes))
+}
+
+fn pick(bytes: &[u8]) -> u8 {
+    bytes.first().copied().unwrap_or(0)
+}
+
+fn checked(bytes: &[u8]) -> u8 {
+    if bytes.len() > 1 {
+        // arc-lint: bounded(len > 1 checked above)
+        bytes[1]
+    } else {
+        0
+    }
+}
+
+/// Unreachable from the root: direct indexing here is the caller's problem.
+pub fn offline_tool_path(v: &[u8]) -> u8 {
+    v[0]
+}

@@ -1,0 +1,19 @@
+//! The panic is two calls below the root: only a transitive analysis
+//! catches it.
+
+// arc-lint: decode-root
+pub fn decode(bytes: &[u8]) -> Vec<u8> {
+    inner(bytes)
+}
+
+fn inner(bytes: &[u8]) -> Vec<u8> {
+    helper(bytes).expect("valid input")
+}
+
+fn helper(bytes: &[u8]) -> Option<Vec<u8>> {
+    if bytes.is_empty() {
+        None
+    } else {
+        Some(bytes.to_vec())
+    }
+}

@@ -1,0 +1,25 @@
+//! The whole decode cone is total; a panic *outside* the cone is not this
+//! rule's business.
+
+// arc-lint: decode-root
+pub fn decode(bytes: &[u8]) -> Result<Vec<u8>, String> {
+    inner(bytes)
+}
+
+fn inner(bytes: &[u8]) -> Result<Vec<u8>, String> {
+    helper(bytes).ok_or_else(|| "empty input".to_string())
+}
+
+fn helper(bytes: &[u8]) -> Option<Vec<u8>> {
+    if bytes.is_empty() {
+        None
+    } else {
+        Some(bytes.to_vec())
+    }
+}
+
+/// Never called from the root: free to panic without tripping the cone rule.
+pub fn offline_tool_path(x: usize) -> usize {
+    assert!(x < 100, "tool misuse");
+    x * 2
+}

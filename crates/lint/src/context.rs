@@ -20,6 +20,19 @@ pub struct Suppression {
     pub line: usize,
 }
 
+/// A parsed bounds proof: `// arc-lint: bounded(<why>)`. Unlike `allow`,
+/// which waives one named rule, `bounded` is a *semantic* claim — the index
+/// or allocation size on the covered line cannot exceed its container or
+/// budget — honored by both `decode-no-direct-index` and
+/// `decode-bounded-alloc`.
+#[derive(Debug, Clone)]
+pub struct BoundsProof {
+    /// Free-text proof of the bound (why the site cannot go out of range).
+    pub reason: String,
+    /// Line the comment sits on; it covers this line and the next.
+    pub line: usize,
+}
+
 /// Everything a rule needs to know about one source file.
 pub struct FileCtx {
     /// Workspace-relative path with forward slashes (stable across OSes).
@@ -39,6 +52,8 @@ pub struct FileCtx {
     comment_text: BTreeMap<usize, String>,
     /// Parsed `arc-lint: allow` suppressions.
     pub suppressions: Vec<Suppression>,
+    /// Parsed `arc-lint: bounded` proofs.
+    pub bounds_proofs: Vec<BoundsProof>,
 }
 
 impl FileCtx {
@@ -55,6 +70,7 @@ impl FileCtx {
             attr_lines: BTreeSet::new(),
             comment_text: BTreeMap::new(),
             suppressions: Vec::new(),
+            bounds_proofs: Vec::new(),
         };
         ctx.index_lines();
         ctx.index_test_regions();
@@ -86,6 +102,12 @@ impl FileCtx {
     /// line or the line directly below it).
     pub fn is_suppressed(&self, rule: &str, line: usize) -> bool {
         self.suppressions.iter().any(|s| s.rule == rule && (s.line == line || s.line + 1 == line))
+    }
+
+    /// True when a `bounded(<why>)` proof covers `line` (the comment's own
+    /// line — trailing comments — or the line directly below it).
+    pub fn is_bounded(&self, line: usize) -> bool {
+        self.bounds_proofs.iter().any(|b| b.line == line || b.line + 1 == line)
     }
 
     fn index_lines(&mut self) {
@@ -203,8 +225,7 @@ impl FileCtx {
             // Skip any further attributes, then find the item body `{ … }`
             // (or a terminating `;` for `mod name;` style items).
             let mut j = k + 1;
-            loop {
-                let Some(n) = non_comment_at_or_after(toks, j) else { break };
+            while let Some(n) = non_comment_at_or_after(toks, j) {
                 if toks[n].kind == TokKind::Punct && toks[n].text == "#" {
                     // Another attribute: jump past its closing `]`.
                     let mut d = 0usize;
@@ -276,15 +297,17 @@ impl FileCtx {
         }
     }
 
-    /// Parse `arc-lint: allow(<rule>, <reason>)` out of comment tokens. A
-    /// single comment may carry several `allow(…)` clauses.
+    /// Parse `arc-lint: allow(<rule>, <reason>)` and `arc-lint:
+    /// bounded(<why>)` out of comment tokens. A single comment may carry
+    /// several clauses.
     fn index_suppressions(&mut self) {
         for t in &self.tokens {
             if !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment) {
                 continue;
             }
             let Some(at) = t.text.find("arc-lint:") else { continue };
-            let mut rest = &t.text[at + "arc-lint:".len()..];
+            let directive = &t.text[at + "arc-lint:".len()..];
+            let mut rest = directive;
             while let Some(open) = rest.find("allow(") {
                 let body = &rest[open + "allow(".len()..];
                 let Some(close) = body.find(')') else { break };
@@ -302,8 +325,37 @@ impl FileCtx {
                 }
                 rest = &body[close + 1..];
             }
+            let mut rest = directive;
+            while let Some(open) = rest.find("bounded(") {
+                let body = &rest[open + "bounded(".len()..];
+                // The proof text may itself contain calls (`i < v.len()`),
+                // so match the close paren by nesting depth, not first-hit.
+                let Some(close) = matching_close(body) else { break };
+                let reason = body[..close].trim();
+                self.bounds_proofs.push(BoundsProof { reason: reason.to_string(), line: t.line });
+                rest = &body[close + 1..];
+            }
         }
     }
+}
+
+/// Byte index of the `)` closing an already-open paren group in `body`
+/// (depth starts at 1), or `None` if the group never closes.
+fn matching_close(body: &str) -> Option<usize> {
+    let mut depth = 1usize;
+    for (i, c) in body.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
 }
 
 /// Index of the first non-comment token strictly after `i`.
@@ -384,5 +436,15 @@ mod tests {
         assert!(!c.is_suppressed("no-panic-in-lib", 3));
         assert!(!c.is_suppressed("other-rule", 2));
         assert_eq!(c.suppressions[0].reason, "length proven above");
+    }
+
+    #[test]
+    fn bounded_proofs_cover_their_line_and_the_next() {
+        let src = "let a = v[i]; // arc-lint: bounded(i < v.len() checked above)\nlet b = v[j];\nlet c = v[k];\n";
+        let c = ctx(src);
+        assert!(c.is_bounded(1));
+        assert!(c.is_bounded(2));
+        assert!(!c.is_bounded(3));
+        assert_eq!(c.bounds_proofs[0].reason, "i < v.len() checked above");
     }
 }

@@ -1,14 +1,28 @@
-//! The driver: deterministic workspace walk, rule dispatch, suppression
-//! filtering.
+//! The driver: deterministic workspace walk, rule dispatch, call-graph
+//! construction, suppression filtering.
 //!
-//! Directory entries are sorted by name at every level and findings are
-//! sorted by (file, line, rule), so two runs over the same tree — on any
-//! machine — produce identical output and identical baselines.
+//! A run has two phases. Phase one lexes every file and applies the
+//! token-level rules exactly as before. Phase two parses items out of the
+//! retained file contexts ([`crate::syntax`]), builds the workspace call
+//! graph ([`crate::callgraph`]), resolves the decode roots declared in
+//! `lint-roots.toml` (plus `// arc-lint: decode-root` markers), and runs
+//! the transitive cone rules ([`crate::cone`]) over the reachable set.
+//!
+//! Directory entries are sorted by name at every level, findings are
+//! sorted by (file, line, rule), nodes are sorted by (file, line), and
+//! BFS witnesses follow root declaration order — two runs over the same
+//! tree, on any machine, produce identical findings, baselines, and
+//! `--graph` dumps.
 
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
+use crate::callgraph::CallGraph;
+use crate::cone;
 use crate::context::FileCtx;
+use crate::roots;
 use crate::rules::{default_rules, Finding, Rule, Severity};
+use crate::syntax::parse_items;
 
 /// Directory names never descended into. `fixtures` holds the lint crate's
 /// own corpus of *intentional* violations; `vendor` is third-party shim
@@ -19,18 +33,33 @@ const SKIP_DIRS: [&str; 5] = ["target", "vendor", ".git", "fixtures", "results"]
 /// the baseline like any other rule (an unparseable file is debt too).
 pub const LEX_ERROR_RULE: &str = "lex-error";
 
+/// Name of the committed root-declaration file, looked up under `--root`.
+pub const ROOTS_FILE: &str = "lint-roots.toml";
+
+/// Output format for the `--graph` reachability dump.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphFormat {
+    /// Graphviz `digraph` text.
+    Dot,
+    /// Byte-stable JSON (nodes, edges, summary counters).
+    Json,
+}
+
 /// Engine configuration.
 pub struct Options {
-    /// Apply each rule's path scope (`Rule::applies`). Fixture tests turn
-    /// this off to point a single rule at an arbitrary directory.
+    /// Apply each rule's path scope (`Rule::applies`) and restrict the call
+    /// graph to library/binary source. Fixture tests turn this off to point
+    /// the engine at an arbitrary directory.
     pub respect_filters: bool,
     /// Run only the rule with this key.
     pub only_rule: Option<String>,
+    /// Also produce a reachability-cone dump in this format.
+    pub graph: Option<GraphFormat>,
 }
 
 impl Default for Options {
     fn default() -> Options {
-        Options { respect_filters: true, only_rule: None }
+        Options { respect_filters: true, only_rule: None, graph: None }
     }
 }
 
@@ -42,6 +71,11 @@ pub struct RunResult {
     pub suppressed: Vec<Finding>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
+    /// Number of functions in the decode cone (0 when the graph phase did
+    /// not run).
+    pub cone_size: usize,
+    /// The `--graph` dump, when one was requested.
+    pub graph_dump: Option<String>,
 }
 
 /// Recursively collect `.rs` files under `root` in sorted order.
@@ -82,6 +116,23 @@ fn rel_path(root: &Path, path: &Path) -> String {
     rel.components().map(|c| c.as_os_str().to_string_lossy()).collect::<Vec<_>>().join("/")
 }
 
+/// True when `rel` belongs in the call graph: crate library/binary source
+/// (tests, benches, and example trees call decoders too, but hostile bytes
+/// only *enter* through library code, and test fns are dropped anyway).
+///
+/// `crates/lint` itself is excluded: no workspace crate depends on
+/// `arc-lint` (a leaf dev tool), so its functions cannot sit below a decode
+/// root — but method-name over-approximation (`.build(…)`, `.parse(…)`)
+/// would otherwise drag its internals into every cone. The
+/// `nothing_outside_the_lint_crate_imports_it` integration test keeps this
+/// exclusion honest.
+fn is_graph_source(rel: &str) -> bool {
+    if rel.starts_with("crates/lint/") {
+        return false;
+    }
+    (rel.starts_with("crates/") && rel.contains("/src/")) || rel.starts_with("src/")
+}
+
 /// Run the default rule set over every `.rs` file under `root`.
 pub fn run(root: &Path, opts: &Options) -> Result<RunResult, String> {
     let rules = default_rules();
@@ -92,15 +143,19 @@ pub fn run(root: &Path, opts: &Options) -> Result<RunResult, String> {
         .collect();
     let files = collect_files(root)?;
     let mut findings = Vec::new();
-    let mut suppressed = Vec::new();
     let mut files_scanned = 0usize;
+    // Contexts are retained for the graph phase (and for suppression
+    // filtering of cone findings at the end).
+    let mut ctxs: BTreeMap<String, FileCtx> = BTreeMap::new();
     for path in &files {
         let rel = rel_path(root, path);
         let text = std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
         files_scanned += 1;
-        let ctx = match FileCtx::build(rel.clone(), &text) {
-            Ok(ctx) => ctx,
+        match FileCtx::build(rel.clone(), &text) {
+            Ok(ctx) => {
+                ctxs.insert(rel, ctx);
+            }
             Err(e) => {
                 findings.push(Finding {
                     rule: LEX_ERROR_RULE,
@@ -109,25 +164,115 @@ pub fn run(root: &Path, opts: &Options) -> Result<RunResult, String> {
                     line: e.line,
                     message: e.message,
                 });
-                continue;
             }
-        };
-        let mut file_findings = Vec::new();
+        }
+    }
+
+    // Phase one: token-level rules, file by file.
+    for ctx in ctxs.values() {
         for rule in &selected {
             if opts.respect_filters && !rule.applies(&ctx.rel) {
                 continue;
             }
-            rule.check(&ctx, &mut file_findings);
+            rule.check(ctx, &mut findings);
         }
-        for f in file_findings {
-            if ctx.is_suppressed(f.rule, f.line) {
-                suppressed.push(f);
-            } else {
-                findings.push(f);
+    }
+
+    // Phase two: the call graph and the transitive decode-cone rules. Runs
+    // unless `--rule` narrowed the run to a token-level rule.
+    let cone_wanted = match opts.only_rule.as_deref() {
+        None => true,
+        Some(key) => cone::is_cone_rule(key),
+    };
+    let mut cone_size = 0usize;
+    let mut graph_dump = None;
+    if cone_wanted || opts.graph.is_some() {
+        let mut items = Vec::new();
+        for ctx in ctxs.values() {
+            if opts.respect_filters && !is_graph_source(&ctx.rel) {
+                continue;
+            }
+            items.extend(parse_items(ctx));
+        }
+        let graph = CallGraph::build(items);
+        let root_ids = resolve_roots(root, &graph, &mut findings);
+        let reachable = graph.reachable(&root_ids);
+        cone_size = reachable.len();
+        if cone_wanted {
+            cone::check_cone(&graph, &reachable, &ctxs, opts.only_rule.as_deref(), &mut findings);
+        }
+        graph_dump = match opts.graph {
+            Some(GraphFormat::Json) => Some(graph.cone_json(&reachable)),
+            Some(GraphFormat::Dot) => Some(graph.cone_dot(&reachable)),
+            None => None,
+        };
+    }
+
+    // Suppression filtering over everything, file rules and cone rules
+    // alike (lex-error findings have no context and pass through).
+    let mut kept = Vec::new();
+    let mut suppressed = Vec::new();
+    for f in findings {
+        if ctxs.get(&f.file).is_some_and(|c| c.is_suppressed(f.rule, f.line)) {
+            suppressed.push(f);
+        } else {
+            kept.push(f);
+        }
+    }
+    kept.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    suppressed.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(RunResult { findings: kept, suppressed, files_scanned, cone_size, graph_dump })
+}
+
+/// Load `lint-roots.toml` (if present), resolve every spec plus every
+/// `decode-root`-marked function, and return `(node id, witness label)`
+/// pairs in declaration order. Parse errors and unresolved specs become
+/// `lint-roots-error` findings — the gate must fail loudly when the cone
+/// silently shrinks.
+fn resolve_roots(
+    root: &Path,
+    graph: &CallGraph,
+    findings: &mut Vec<Finding>,
+) -> Vec<(usize, String)> {
+    let mut out: Vec<(usize, String)> = Vec::new();
+    let path = root.join(ROOTS_FILE);
+    if let Ok(text) = std::fs::read_to_string(&path) {
+        match roots::parse(&text) {
+            Ok(decls) => {
+                for spec in &decls.specs {
+                    let ids = graph.resolve_spec(&spec.text);
+                    if ids.is_empty() {
+                        findings.push(Finding {
+                            rule: cone::LINT_ROOTS_ERROR,
+                            severity: Severity::Error,
+                            file: ROOTS_FILE.to_string(),
+                            line: spec.line,
+                            message: format!(
+                                "root `{}` resolves to no workspace function — renamed or \
+                                 removed entry point?",
+                                spec.text
+                            ),
+                        });
+                    }
+                    for id in ids {
+                        out.push((id, spec.text.clone()));
+                    }
+                }
+            }
+            Err(msg) => {
+                findings.push(Finding {
+                    rule: cone::LINT_ROOTS_ERROR,
+                    severity: Severity::Error,
+                    file: ROOTS_FILE.to_string(),
+                    line: 1,
+                    message: format!("malformed {ROOTS_FILE}: {msg}"),
+                });
             }
         }
     }
-    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    suppressed.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    Ok(RunResult { findings, suppressed, files_scanned })
+    for id in graph.marked_roots() {
+        let label = graph.nodes[id].item.display();
+        out.push((id, label));
+    }
+    out
 }

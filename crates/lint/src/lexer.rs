@@ -138,9 +138,12 @@ pub fn lex(text: &str) -> Result<Vec<Token>, LexError> {
                 _ => {}
             }
         }
-        // Raw strings / byte strings / raw identifiers start with `r` or `b`
-        // and must be recognized before generic identifier lexing.
-        if (c == 'r' || c == 'b') && lex_prefixed_literal(&mut cur, &mut out, line, col)? {
+        // Raw strings / byte strings / C strings / raw identifiers start with
+        // `r`, `b`, or `c` and must be recognized before generic identifier
+        // lexing.
+        if (c == 'r' || c == 'b' || c == 'c')
+            && lex_prefixed_literal(&mut cur, &mut out, line, col)?
+        {
             continue;
         }
         if c == '"' {
@@ -211,9 +214,10 @@ fn lex_block_comment(cur: &mut Cursor, line: usize, col: usize) -> Result<Token,
     }
 }
 
-/// Handle `r"…"`, `r#"…"#`, `b"…"`, `b'…'`, `br#"…"#` and raw identifiers.
-/// Returns `Ok(true)` when a token was produced, `Ok(false)` when the `r`/`b`
-/// is just the start of an ordinary identifier.
+/// Handle `r"…"`, `r#"…"#`, `b"…"`, `b'…'`, `br#"…"#`, `c"…"`, `cr#"…"#`
+/// and raw identifiers. Returns `Ok(true)` when a token was produced,
+/// `Ok(false)` when the `r`/`b`/`c` is just the start of an ordinary
+/// identifier.
 fn lex_prefixed_literal(
     cur: &mut Cursor,
     out: &mut Vec<Token>,
@@ -224,7 +228,7 @@ fn lex_prefixed_literal(
     // How many chars of prefix before a possible fence/quote?
     let (skip, raw) = match (c, cur.peek_at(1)) {
         ('r', Some('"')) | ('r', Some('#')) => (1, true),
-        ('b', Some('"')) => (1, false),
+        ('b', Some('"')) | ('c', Some('"')) => (1, false),
         ('b', Some('\'')) => {
             // Byte char literal: consume `b`, then lex as a quote literal.
             cur.bump();
@@ -232,7 +236,7 @@ fn lex_prefixed_literal(
             out.push(tok);
             return Ok(true);
         }
-        ('b', Some('r')) => match cur.peek_at(2) {
+        ('b', Some('r')) | ('c', Some('r')) => match cur.peek_at(2) {
             Some('"') | Some('#') => (2, true),
             _ => return Ok(false),
         },
@@ -292,7 +296,8 @@ fn lex_prefixed_literal(
             }
         }
     } else {
-        // Byte string `b"…"`: skip the `b`, lex like a normal string.
+        // Byte string `b"…"` / C string `c"…"`: skip the prefix, lex like a
+        // normal string.
         cur.bump();
         let tok = lex_string(cur, line, col)?;
         out.push(tok);
@@ -457,6 +462,36 @@ mod tests {
         let toks = kinds("let a = b\"bytes\"; let c = b'x';");
         assert!(toks.contains(&(TokKind::StrLit, "bytes".into())));
         assert!(toks.contains(&(TokKind::CharLit, "'x'".into())));
+    }
+
+    #[test]
+    fn raw_byte_strings_with_fences() {
+        let toks = kinds(r####"let a = br"x"; let b = br#"say "hi""#;"####);
+        let strs: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokKind::StrLit).map(|(_, t)| t.clone()).collect();
+        assert_eq!(strs, vec!["x", "say \"hi\""]);
+    }
+
+    #[test]
+    fn c_strings_plain_and_raw() {
+        let toks = kinds(r####"let a = c"nul-terminated"; let b = cr#"raw "c""#;"####);
+        let strs: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokKind::StrLit).map(|(_, t)| t.clone()).collect();
+        assert_eq!(strs, vec!["nul-terminated", "raw \"c\""]);
+        // A `;` inside a C string must not look like a statement boundary to
+        // downstream rules.
+        let toks = kinds("let a = c\"one; two\";");
+        assert!(toks.contains(&(TokKind::StrLit, "one; two".into())));
+    }
+
+    #[test]
+    fn c_and_cr_still_lex_as_identifiers() {
+        let toks = kinds("let c = cr + 1; fn crate_fn(c: u8) {}");
+        let idents: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokKind::Ident).map(|(_, t)| t.clone()).collect();
+        assert!(idents.contains(&"c".to_string()));
+        assert!(idents.contains(&"cr".to_string()));
+        assert!(idents.contains(&"crate_fn".to_string()));
     }
 
     #[test]

@@ -5,7 +5,9 @@
 //! corrupts or aborts on the data it was asked to protect. That discipline
 //! has to be machine-checked, not conventional: this crate walks every
 //! `.rs` file in the workspace with a hand-rolled Rust lexer and enforces
-//! five invariants (see [`rules`]):
+//! two layers of invariants.
+//!
+//! Token-level rules ([`rules`]), checked per file:
 //!
 //! | rule | invariant |
 //! |------|-----------|
@@ -15,16 +17,33 @@
 //! | `atomic-ordering-audit`  | `Ordering::Relaxed` in telemetry is justified in-line |
 //! | `feature-gate-hygiene`   | telemetry is gated through the facade, never ad-hoc cfg |
 //!
+//! Transitive rules ([`cone`]), checked over the workspace call graph
+//! ([`syntax`] parses items, [`callgraph`] resolves calls) on every
+//! function reachable from the decode roots declared in `lint-roots.toml`
+//! ([`roots`]) or marked `// arc-lint: decode-root`:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `decode-no-panic-transitive` | nothing a decode root can reach may abort |
+//! | `decode-no-direct-index`     | `x[i]` in the cone needs `.get()` or a `bounded(..)` proof |
+//! | `decode-bounded-alloc`       | input-derived allocation sizes need a clamp or proof |
+//!
 //! Pre-existing debt lives in a committed, ratcheted `lint-baseline.json`
 //! ([`baseline`]): new violations fail the gate, and the baseline may only
 //! shrink. Individual sites can be waived in place with
-//! `// arc-lint: allow(<rule>, <reason>)`.
+//! `// arc-lint: allow(<rule>, <reason>)`; index/alloc sites can instead be
+//! *proven* with `// arc-lint: bounded(<why>)`.
 //!
-//! See DESIGN.md §10 for the rule catalogue and policy.
+//! See DESIGN.md §10 for the rule catalogue, the call-graph architecture,
+//! and its soundness caveats.
 
 pub mod baseline;
+pub mod callgraph;
+pub mod cone;
 pub mod context;
 pub mod engine;
 pub mod json;
 pub mod lexer;
+pub mod roots;
 pub mod rules;
+pub mod syntax;

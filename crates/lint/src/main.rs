@@ -4,21 +4,30 @@
 //! cargo run -p arc-lint -- [--deny] [--strict-baseline] [--format json]
 //!                          [--root DIR] [--baseline PATH] [--no-baseline]
 //!                          [--rule KEY] [--write-baseline] [--list-rules]
+//!                          [--graph dot|json]
 //! ```
 //!
 //! Exit status: 0 when the workspace is clean relative to the baseline;
 //! 1 under `--deny` when new violations exist (or, with `--strict-baseline`,
 //! when the committed baseline is stale and should be shrunk); 2 on usage
 //! or I/O errors. Without `--deny` the run is informational and exits 0.
+//!
+//! `--graph dot|json` dumps the decode-root reachability cone (the set of
+//! functions the transitive rules police) instead of the findings report.
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use arc_lint::baseline::Baseline;
-use arc_lint::engine::{run, Options};
+use arc_lint::cone::cone_rule_descriptions;
+use arc_lint::engine::{run, GraphFormat, Options};
 use arc_lint::json::escape;
 use arc_lint::rules::{default_rules, Finding};
+
+/// Version of the `--format json` report shape. Bump when fields change
+/// meaning or move; additions bump it too so consumers can key on it.
+const JSON_SCHEMA_VERSION: u32 = 2;
 
 struct Cli {
     root: Option<PathBuf>,
@@ -30,6 +39,7 @@ struct Cli {
     write_baseline: bool,
     rule: Option<String>,
     list_rules: bool,
+    graph: Option<GraphFormat>,
 }
 
 fn parse_cli(args: &[String]) -> Result<Cli, String> {
@@ -43,6 +53,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         write_baseline: false,
         rule: None,
         list_rules: false,
+        graph: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -61,6 +72,14 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                     other => return Err(format!("unknown format '{other}' (text|json)")),
                 }
             }
+            "--graph" => {
+                let v = take("--graph")?;
+                match v.as_str() {
+                    "dot" => cli.graph = Some(GraphFormat::Dot),
+                    "json" => cli.graph = Some(GraphFormat::Json),
+                    other => return Err(format!("unknown graph format '{other}' (dot|json)")),
+                }
+            }
             "--deny" => cli.deny = true,
             "--strict-baseline" => cli.strict_baseline = true,
             "--no-baseline" => cli.no_baseline = true,
@@ -69,7 +88,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             "--help" | "-h" => {
                 return Err("usage: arc-lint [--deny] [--strict-baseline] [--format text|json] \
                             [--root DIR] [--baseline PATH] [--no-baseline] [--rule KEY] \
-                            [--write-baseline] [--list-rules]"
+                            [--write-baseline] [--list-rules] [--graph dot|json]"
                     .into())
             }
             other => return Err(format!("unknown argument '{other}' (try --help)")),
@@ -103,6 +122,7 @@ fn print_text_report(
     suppressed: usize,
     stale: &[arc_lint::baseline::RatchetEntry],
     files_scanned: usize,
+    cone_size: usize,
 ) {
     let mut new_count = 0u64;
     for f in findings {
@@ -127,9 +147,10 @@ fn print_text_report(
     }
     let baselined = findings.len() as u64 - new_count;
     println!(
-        "arc-lint: {} file(s), {} finding(s): {} new, {} baselined, {} suppressed, \
-         {} stale baseline entr(ies)",
+        "arc-lint: {} file(s), {} fn(s) in decode cone, {} finding(s): {} new, \
+         {} baselined, {} suppressed, {} stale baseline entr(ies)",
         files_scanned,
+        cone_size,
         findings.len(),
         new_count,
         baselined,
@@ -144,10 +165,13 @@ fn print_json_report(
     suppressed: usize,
     stale: &[arc_lint::baseline::RatchetEntry],
     files_scanned: usize,
+    cone_size: usize,
 ) {
     // Hand-rolled with fixed key order: output is byte-stable across runs.
     let mut out = String::from("{\n");
+    out.push_str(&format!("  \"schema_version\": {JSON_SCHEMA_VERSION},\n"));
     out.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
+    out.push_str(&format!("  \"cone_size\": {cone_size},\n"));
     out.push_str("  \"findings\": [\n");
     for (i, f) in findings.iter().enumerate() {
         let is_new = new_pairs.contains_key(&(f.rule.to_string(), f.file.clone()));
@@ -181,13 +205,34 @@ fn print_json_report(
     print!("{out}");
 }
 
+/// Per-rule before/after totals when regenerating the baseline, so a
+/// `scripts/lint_baseline.sh` run shows exactly which debt moved.
+fn print_baseline_delta(old: &Baseline, new: &Baseline) {
+    let mut rules: Vec<&String> = old.counts.keys().chain(new.counts.keys()).collect();
+    rules.sort();
+    rules.dedup();
+    let total = |b: &Baseline, rule: &str| -> u64 {
+        b.counts.get(rule).map(|m| m.values().sum()).unwrap_or(0)
+    };
+    println!("{:<28} {:>8} {:>8} {:>8}", "rule", "before", "after", "delta");
+    for rule in rules {
+        let before = total(old, rule);
+        let after = total(new, rule);
+        let delta = after as i64 - before as i64;
+        println!("{rule:<28} {before:>8} {after:>8} {delta:>+8}");
+    }
+}
+
 fn real_main() -> Result<ExitCode, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = parse_cli(&args)?;
 
     if cli.list_rules {
         for r in default_rules() {
-            println!("{:<24} [{}] {}", r.key(), r.severity().label(), r.describe());
+            println!("{:<26} [{}] {}", r.key(), r.severity().label(), r.describe());
+        }
+        for (key, what) in cone_rule_descriptions() {
+            println!("{key:<26} [error] {what}");
         }
         return Ok(ExitCode::SUCCESS);
     }
@@ -196,16 +241,28 @@ fn real_main() -> Result<ExitCode, String> {
         Some(r) => r.clone(),
         None => find_workspace_root()?,
     };
-    let opts = Options { respect_filters: true, only_rule: cli.rule.clone() };
+    let opts = Options { respect_filters: true, only_rule: cli.rule.clone(), graph: cli.graph };
     let result = run(&root, &opts)?;
+
+    if let Some(dump) = &result.graph_dump {
+        print!("{dump}");
+        return Ok(ExitCode::SUCCESS);
+    }
+
     let actual = Baseline::from_findings(&result.findings);
 
     let baseline_path =
         cli.baseline_path.clone().unwrap_or_else(|| root.join("lint-baseline.json"));
 
     if cli.write_baseline {
+        let old = match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => Baseline::parse(&text)
+                .map_err(|e| format!("malformed {}: {e}", baseline_path.display()))?,
+            Err(_) => Baseline::default(),
+        };
         std::fs::write(&baseline_path, actual.to_json())
             .map_err(|e| format!("cannot write {}: {e}", baseline_path.display()))?;
+        print_baseline_delta(&old, &actual);
         println!(
             "arc-lint: wrote {} ({} entr(ies), {} violation(s))",
             baseline_path.display(),
@@ -238,6 +295,7 @@ fn real_main() -> Result<ExitCode, String> {
             result.suppressed.len(),
             &ratchet.stale,
             result.files_scanned,
+            result.cone_size,
         );
     } else {
         print_text_report(
@@ -246,6 +304,7 @@ fn real_main() -> Result<ExitCode, String> {
             result.suppressed.len(),
             &ratchet.stale,
             result.files_scanned,
+            result.cone_size,
         );
     }
 

@@ -1,0 +1,168 @@
+//! Decode-root declarations: the committed `lint-roots.toml`.
+//!
+//! Roots are the functions hostile bytes enter through; the decode cone —
+//! everything the three `decode-*` rules police — is what's reachable from
+//! them in the call graph. The file is deliberately tiny (this crate has
+//! no TOML dependency, so only the subset below is accepted):
+//!
+//! ```toml
+//! # comments and blank lines are fine
+//! schema = 1
+//! roots = [
+//!     "container::unpack",          # module-qualified free fn
+//!     "ArcReader::decode_range",    # Type::method
+//!     "StreamDecoder::push",
+//! ]
+//! ```
+//!
+//! Each spec is `name`, `module::name`, or `Type::method`, resolved by
+//! [`crate::callgraph::CallGraph::resolve_spec`]. A spec that resolves to
+//! nothing is reported as a `lint-roots-error` finding — a root pointing
+//! at a renamed function must fail the gate, not silently shrink the cone.
+//! Functions can also self-declare with a `// arc-lint: decode-root`
+//! comment; those are unioned with the file's list.
+
+/// One declared root spec.
+#[derive(Debug, Clone)]
+pub struct Spec {
+    /// The spec exactly as written (`container::unpack`).
+    pub text: String,
+    /// 1-based line in `lint-roots.toml` (for unresolved-root findings).
+    pub line: usize,
+}
+
+/// Parsed root declarations, in file order.
+#[derive(Debug, Default)]
+pub struct Roots {
+    /// Root specs in declaration order (order = witness priority).
+    pub specs: Vec<Spec>,
+}
+
+/// Parse the `lint-roots.toml` subset. Returns `Err(message)` on anything
+/// outside the accepted grammar so a typo cannot silently drop roots.
+pub fn parse(text: &str) -> Result<Roots, String> {
+    let mut roots = Roots::default();
+    let mut saw_schema = false;
+    let mut in_list = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if in_list {
+            let body = if let Some(rest) = line.strip_suffix(']') {
+                in_list = false;
+                rest.trim()
+            } else {
+                line.as_str()
+            };
+            for part in body.split(',') {
+                let part = part.trim();
+                if part.is_empty() {
+                    continue;
+                }
+                roots.specs.push(Spec { text: unquote(part, lineno)?, line: lineno });
+            }
+            continue;
+        }
+        if let Some(value) = line.strip_prefix("schema") {
+            let value = value.trim().strip_prefix('=').map(str::trim).unwrap_or("");
+            if value != "1" {
+                return Err(format!("line {lineno}: unsupported schema '{value}' (expected 1)"));
+            }
+            saw_schema = true;
+            continue;
+        }
+        if let Some(value) = line.strip_prefix("roots") {
+            let value = value.trim().strip_prefix('=').map(str::trim).unwrap_or("");
+            let Some(rest) = value.strip_prefix('[') else {
+                return Err(format!("line {lineno}: roots must be a [ … ] list"));
+            };
+            let rest = rest.trim();
+            if let Some(body) = rest.strip_suffix(']') {
+                for part in body.split(',') {
+                    let part = part.trim();
+                    if part.is_empty() {
+                        continue;
+                    }
+                    roots.specs.push(Spec { text: unquote(part, lineno)?, line: lineno });
+                }
+            } else {
+                in_list = true;
+                for part in rest.split(',') {
+                    let part = part.trim();
+                    if part.is_empty() {
+                        continue;
+                    }
+                    roots.specs.push(Spec { text: unquote(part, lineno)?, line: lineno });
+                }
+            }
+            continue;
+        }
+        return Err(format!("line {lineno}: unrecognized line '{line}'"));
+    }
+    if in_list {
+        return Err("unterminated roots list (missing ])".to_string());
+    }
+    if !saw_schema {
+        return Err("missing `schema = 1` declaration".to_string());
+    }
+    Ok(roots)
+}
+
+/// Drop a trailing `# comment`, respecting `"…"` strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Strip the mandatory double quotes around a root spec.
+fn unquote(part: &str, lineno: usize) -> Result<String, String> {
+    let inner = part
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .ok_or_else(|| format!("line {lineno}: root spec {part} must be double-quoted"))?;
+    if inner.is_empty() {
+        return Err(format!("line {lineno}: empty root spec"));
+    }
+    Ok(inner.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_multiline_list_with_comments() {
+        let text = "# decode roots\nschema = 1\nroots = [\n    \"container::unpack\",  # the v2 container\n    \"ArcReader::decode_range\",\n]\n";
+        let r = parse(text).unwrap();
+        let texts: Vec<&str> = r.specs.iter().map(|s| s.text.as_str()).collect();
+        assert_eq!(texts, vec!["container::unpack", "ArcReader::decode_range"]);
+        assert_eq!(r.specs[0].line, 4);
+        assert_eq!(r.specs[1].line, 5);
+    }
+
+    #[test]
+    fn parses_single_line_list() {
+        let r = parse("schema = 1\nroots = [\"a\", \"b::c\"]\n").unwrap();
+        let texts: Vec<&str> = r.specs.iter().map(|s| s.text.as_str()).collect();
+        assert_eq!(texts, vec!["a", "b::c"]);
+    }
+
+    #[test]
+    fn rejects_bad_schema_and_unquoted_specs() {
+        assert!(parse("schema = 2\nroots = []\n").is_err());
+        assert!(parse("schema = 1\nroots = [bare]\n").is_err());
+        assert!(parse("roots = [\"a\"]\n").is_err());
+        assert!(parse("schema = 1\nroots = [\n\"a\",\n").is_err());
+        assert!(parse("schema = 1\nbogus = true\n").is_err());
+    }
+}

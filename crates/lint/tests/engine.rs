@@ -18,7 +18,8 @@ fn workspace_root() -> PathBuf {
 
 /// Run a single rule over one fixture directory, path filters off.
 fn run_rule(rule: &str, dir: &Path) -> arc_lint::engine::RunResult {
-    let opts = Options { respect_filters: false, only_rule: Some(rule.to_string()) };
+    let opts =
+        Options { respect_filters: false, only_rule: Some(rule.to_string()), ..Options::default() };
     run(dir, &opts).expect("fixture run succeeds")
 }
 
@@ -87,7 +88,7 @@ fn ecc_and_lint_hold_the_hardened_invariants_with_no_baseline_debt() {
     let result = run(&root, &Options::default()).expect("workspace run succeeds");
     for f in &result.findings {
         assert!(
-            !(f.rule == "unsafe-needs-safety"),
+            f.rule != "unsafe-needs-safety",
             "unjustified unsafe must stay at zero workspace-wide: {}:{}",
             f.file,
             f.line
@@ -116,7 +117,11 @@ fn baseline_ratchet_on_a_scratch_tree() {
     std::fs::write(src.join("a.rs"), "pub fn f(v: &[u8]) -> u8 { v.first().copied().unwrap() }\n")
         .expect("write fixture");
 
-    let opts = Options { respect_filters: false, only_rule: Some("no-panic-in-lib".into()) };
+    let opts = Options {
+        respect_filters: false,
+        only_rule: Some("no-panic-in-lib".into()),
+        ..Options::default()
+    };
     let result = run(&scratch, &opts).expect("scratch run succeeds");
     let actual = Baseline::from_findings(&result.findings);
     assert_eq!(actual.total(), 1);

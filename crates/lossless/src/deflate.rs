@@ -334,6 +334,6 @@ mod tests {
     fn single_byte_and_runs() {
         round_trip(b"x");
         round_trip(&vec![0u8; 100_000]);
-        round_trip(&vec![0xFFu8; 3]);
+        round_trip(&[0xFFu8; 3]);
     }
 }

@@ -223,6 +223,7 @@ impl HuffmanCode {
         if count > alphabet {
             return Err(LosslessError::malformed("more coded symbols than alphabet"));
         }
+        // arc-lint: bounded(alphabet <= 1 << 24 checked above)
         let mut lengths = vec![0u8; alphabet as usize];
         let mut sym = 0u64;
         for i in 0..count {
@@ -250,6 +251,7 @@ impl HuffmanCode {
     pub fn decoder(&self) -> HuffmanDecoder {
         let max_len = self.lengths.iter().copied().max().unwrap_or(0) as u32;
         // first_code[l], first_index[l]: canonical decoding tables.
+        // arc-lint: bounded(max_len <= MAX_CODE_LEN enforced by from_lengths)
         let mut count = vec![0u64; (max_len + 1) as usize];
         for &l in &self.lengths {
             if l > 0 {
@@ -259,7 +261,9 @@ impl HuffmanCode {
         let mut symbols_by_len: Vec<u32> =
             (0..self.lengths.len() as u32).filter(|&s| self.lengths[s as usize] > 0).collect();
         symbols_by_len.sort_by_key(|&s| (self.lengths[s as usize], s));
+        // arc-lint: bounded(max_len <= MAX_CODE_LEN enforced by from_lengths)
         let mut first_code = vec![0u64; (max_len + 2) as usize];
+        // arc-lint: bounded(max_len <= MAX_CODE_LEN enforced by from_lengths)
         let mut first_index = vec![0u64; (max_len + 2) as usize];
         let mut code = 0u64;
         let mut index = 0u64;

@@ -220,6 +220,7 @@ pub fn decompress_with_limit(bytes: &[u8], max_output: u64) -> Result<Vec<u8>, L
     }
     // Real ZStd has no end-of-frame content check unless the optional
     // checksum is enabled; pad or truncate to the declared length.
+    // arc-lint: bounded(orig_len <= max_output checked at entry)
     out.resize(orig_len, 0);
     Ok(out)
 }

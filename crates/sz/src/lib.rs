@@ -309,6 +309,7 @@ pub fn decompress_with_limits(bytes: &[u8], limits: &DecodeLimits) -> Result<SzD
     bpos = code_end;
     let mid = (header.quant_bins / 2) as i64;
     let zero_quantum_code = (mid + 1) as u32;
+    // arc-lint: bounded(n <= limits.max_elements checked at header parse)
     codes.resize(n, zero_quantum_code);
     let n_literals = read_varint(&body, &mut bpos)? as usize;
     // There is one literal per unpredictable element at most; a corrupt
@@ -352,7 +353,9 @@ pub fn decompress_with_limits(bytes: &[u8], limits: &DecodeLimits) -> Result<SzD
         .ok_or_else(|| SzError::Malformed("invalid dims in header".into()))?;
     let predictor = Predictor::new(header.predictor, shape);
     let eb = header.abs_eb;
+    // arc-lint: bounded(n <= limits.max_elements checked at header parse)
     let mut recon = vec![0.0f64; n];
+    // arc-lint: bounded(n <= limits.max_elements checked at header parse)
     let mut out = vec![0.0f32; n];
     let mut lit_cursor = 0usize;
     let _stage = arc_telemetry::span("reconstruct");

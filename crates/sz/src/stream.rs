@@ -120,6 +120,7 @@ impl Header {
         if ndims == 0 || ndims > 3 {
             return Err(SzError::Malformed(format!("unsupported dimensionality {ndims}")));
         }
+        // arc-lint: bounded(ndims in 1..=3 checked above)
         let mut dims = Vec::with_capacity(ndims);
         let mut product: u64 = 1;
         for _ in 0..ndims {

@@ -390,10 +390,10 @@ mod imp {
 
     /// Fetch-or-insert an entry in one of the registry maps.
     fn stat_for<T: Default>(map: &RwLock<HashMap<String, Arc<T>>>, name: &str) -> Arc<T> {
-        if let Some(s) = map.read().unwrap().get(name) {
+        if let Some(s) = map.read().unwrap_or_else(std::sync::PoisonError::into_inner).get(name) {
             return Arc::clone(s);
         }
-        let mut w = map.write().unwrap();
+        let mut w = map.write().unwrap_or_else(std::sync::PoisonError::into_inner);
         Arc::clone(w.entry(name.to_string()).or_default())
     }
 
@@ -480,7 +480,7 @@ mod imp {
         let stat = stat_for(&registry().events, name);
         // relaxed: the count is advisory; `last` is guarded by its own mutex.
         stat.count.fetch_add(1, Ordering::Relaxed);
-        *stat.last.lock().unwrap() = detail();
+        *stat.last.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = detail();
     }
 
     /// Manual wall-clock timer for sites where an RAII guard is awkward
@@ -550,7 +550,7 @@ mod imp {
         let mut spans: Vec<SpanSnapshot> = reg
             .spans
             .read()
-            .unwrap()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .map(|(path, s)| SpanSnapshot {
                 path: path.clone(),
@@ -564,7 +564,7 @@ mod imp {
         let mut counters: Vec<CounterSnapshot> = reg
             .counters
             .read()
-            .unwrap()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .map(|(name, v)| CounterSnapshot {
                 name: name.clone(),
@@ -576,7 +576,7 @@ mod imp {
         let mut histograms: Vec<HistogramSnapshot> = reg
             .histograms
             .read()
-            .unwrap()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .map(|(name, h)| {
                 let buckets = h
@@ -605,13 +605,13 @@ mod imp {
         let mut events: Vec<EventSnapshot> = reg
             .events
             .read()
-            .unwrap()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .map(|(name, e)| EventSnapshot {
                 name: name.clone(),
                 // relaxed: snapshot read of an advisory event count.
                 count: e.count.load(Ordering::Relaxed),
-                last: e.last.lock().unwrap().clone(),
+                last: e.last.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone(),
             })
             .collect();
         events.sort_by(|a, b| a.name.cmp(&b.name));
@@ -621,10 +621,10 @@ mod imp {
     /// Clear every registered span, counter, histogram, and event.
     pub fn reset() {
         let reg = registry();
-        reg.spans.write().unwrap().clear();
-        reg.counters.write().unwrap().clear();
-        reg.histograms.write().unwrap().clear();
-        reg.events.write().unwrap().clear();
+        reg.spans.write().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
+        reg.counters.write().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
+        reg.histograms.write().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
+        reg.events.write().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
     }
 }
 

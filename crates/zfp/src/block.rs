@@ -222,7 +222,7 @@ mod tests {
             g.gather(&data, b, &mut block);
             // Scatter a marker and count writes.
             let mut probe = vec![0.0f32; 32];
-            g.scatter(&mut probe, b, &vec![1.0f32; 16]);
+            g.scatter(&mut probe, b, &[1.0f32; 16]);
             for (i, &v) in probe.iter().enumerate() {
                 if v == 1.0 {
                     counts[i] += 1;

@@ -218,6 +218,7 @@ pub fn forward_block(block: &[f32], emax: i32, d: usize) -> BlockCoefficients {
 pub fn inverse_block(nb: &[u64], emax: i32, d: usize, out: &mut [f32]) {
     let n = nb.len();
     let order = sequency_order(d);
+    // arc-lint: bounded(one ZFP block: nb.len() <= 64)
     let mut q = vec![0i64; n];
     for (slot, &dst) in order.iter().enumerate() {
         q[dst] = from_negabinary(nb[slot]);

@@ -329,6 +329,7 @@ pub fn decompress_with_limits(bytes: &[u8], limits: &DecodeLimits) -> Result<Zfp
     if ndims == 0 || ndims > 3 {
         return Err(ZfpError::Malformed(format!("unsupported dimensionality {ndims}")));
     }
+    // arc-lint: bounded(ndims <= 3 checked above)
     let mut dims = Vec::with_capacity(ndims);
     let mut product: u64 = 1;
     for _ in 0..ndims {
@@ -366,6 +367,7 @@ pub fn decompress_with_limits(bytes: &[u8], limits: &DecodeLimits) -> Result<Zfp
     };
     let mut r = BitReader::new(payload);
     let mut out = vec![0.0f32; grid.len()];
+    // arc-lint: bounded(bl = block_len <= 64)
     let mut blk = vec![0.0f32; bl];
     let mut scatter = arc_telemetry::StageAccumulator::new("zfp.decompress.scatter");
     let mut stages = DecodeStages {
@@ -431,6 +433,7 @@ fn decode_one_block(
         FLAG_NORMAL => {
             let emax = r.read_bits(EMAX_BITS).unwrap_or(0) as i32 - EMAX_BIAS;
             let kmax = (r.read_bits(KFIELD_BITS).unwrap_or(0) as u32).min(K_TOP);
+            // arc-lint: bounded(bl = block_len <= 64)
             let mut nb = vec![0u64; bl];
             let sw = arc_telemetry::Stopwatch::start();
             match mode {

@@ -68,8 +68,18 @@ if [[ "${ARC_SKIP_TRAFFIC:-0}" != "1" ]]; then
 fi
 
 if [[ "${ARC_SKIP_LINT:-0}" != "1" ]]; then
-    echo "==> arc-lint: cargo run -q -p arc-lint -- --deny --strict-baseline"
-    cargo run -q -p arc-lint -- --deny --strict-baseline
+    echo "==> arc-lint: arc-lint --deny --strict-baseline (10 s budget)"
+    # Build outside the timed region: the budget is for the analysis —
+    # lexing, call-graph construction, cone rules — not the compiler.
+    cargo build -q -p arc-lint
+    lint_start_ns=$(date +%s%N)
+    ./target/debug/arc-lint --deny --strict-baseline
+    lint_ms=$(( ($(date +%s%N) - lint_start_ns) / 1000000 ))
+    echo "    arc-lint wall clock: ${lint_ms} ms"
+    if (( lint_ms >= 10000 )); then
+        echo "error: arc-lint took ${lint_ms} ms; the interprocedural gate must stay under 10 s" >&2
+        exit 1
+    fi
 fi
 
 if [[ "${ARC_CHECK_TELEMETRY:-0}" == "1" ]]; then
