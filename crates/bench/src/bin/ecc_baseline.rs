@@ -258,6 +258,9 @@ fn main() {
     println!("  \"unit\": \"MiB/s\",");
     println!("  \"reps\": {REPS},");
     println!("  \"max_threads\": {max_threads},");
+    // Core count of the recording machine: scripts/bench_ecc.sh refuses to
+    // compare scaling points recorded on different hardware.
+    println!("  \"recorded_cores\": {max_threads},");
     println!("  \"inject_errors\": {INJECT_ERRORS},");
     println!("  \"schedule\": {schedule_field},");
     println!(

@@ -17,7 +17,7 @@ fn main() {
     let scale = RunScale::from_env();
     let field = dataset_at(scale, SdrDataset::IsabelPressure);
     let spec = CompressorSpec::SzAbs(0.1);
-    let (comp, stream) = compress_field(spec, &field);
+    let (comp, stream) = compress_field(spec, &field).expect("compress");
     println!(
         "Hurricane Isabel pressure {:?} — {} compressed {} -> {} bytes (CR {:.1}x)",
         field.dims,

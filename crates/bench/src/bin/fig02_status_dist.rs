@@ -21,7 +21,7 @@ fn main() {
     for ds in SdrDataset::ALL {
         let field = dataset_at(scale, ds);
         for spec in paper_modes() {
-            let (comp, stream) = compress_field(spec, &field);
+            let (comp, stream) = compress_field(spec, &field).expect("compress");
             let bits = sample_bits(stream.len() as u64 * 8, trials_per_pair, 0x000F_1602);
             let report = run_campaign(comp.as_ref(), &field.data, &stream, &bits);
             let counts = report.status_counts();

@@ -23,7 +23,7 @@ fn main() {
     ];
     let mut summary = Vec::new();
     for (spec, bound) in modes {
-        let (comp, stream) = compress_field(spec, &field);
+        let (comp, stream) = compress_field(spec, &field).expect("compress");
         let total_bits = stream.len() as u64 * 8;
         let bits = sample_bits(total_bits, trials, 0x000F_1603);
         let report =

@@ -19,7 +19,7 @@ fn main() {
     for ds in SdrDataset::ALL {
         let field = dataset_at(scale, ds);
         for spec in paper_modes() {
-            let (comp, stream) = compress_field(spec, &field);
+            let (comp, stream) = compress_field(spec, &field).expect("compress");
             let bits = sample_bits(stream.len() as u64 * 8, trials, 0x000F_1605);
             let report = run_campaign(comp.as_ref(), &field.data, &stream, &bits);
             let (bw_mean, bw_sd) = report.metric_stats(|m| m.bandwidth_mb_s);

@@ -39,7 +39,7 @@ fn main() {
     let mut rows = Vec::new();
     for ds in SdrDataset::ALL {
         let field = dataset_at(scale, ds);
-        let (_, stream) = compress_field(CompressorSpec::SzAbs(0.1), &field);
+        let (_, stream) = compress_field(CompressorSpec::SzAbs(0.1), &field).expect("compress");
         let (protected, sel) = ctx.encode(&stream, &req).expect("arc_encode");
         let bits = sample_bits(protected.len() as u64 * 8, trials, 0x63);
         let mut corrected = 0usize;

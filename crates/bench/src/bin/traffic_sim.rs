@@ -533,6 +533,9 @@ fn main() {
     println!("  \"mode\": \"{}\",", if smoke { "smoke" } else { "full" });
     println!("  \"seed\": {SEED},");
     println!("  \"max_threads\": {max_threads},");
+    // Core count of the recording machine: scripts/bench_traffic.sh refuses
+    // to compare throughput recorded on different hardware.
+    println!("  \"recorded_cores\": {max_threads},");
     println!(
         concat!(
             "  \"streaming\": {{\"input_bytes\": {}, \"shard_size\": {}, \"ring\": {}, ",

@@ -83,12 +83,18 @@ pub fn paper_modes() -> Vec<CompressorSpec> {
 }
 
 /// Compress a field under a spec, returning the (compressor, stream) pair.
-pub fn compress_field(spec: CompressorSpec, field: &Field) -> (Box<dyn Compressor>, Vec<u8>) {
+///
+/// Errors carry the spec and field names so binaries can simply `expect`
+/// the result with context intact.
+pub fn compress_field(
+    spec: CompressorSpec,
+    field: &Field,
+) -> Result<(Box<dyn Compressor>, Vec<u8>), String> {
     let comp = spec.build();
     let stream = comp
         .compress(&Dataset { data: &field.data, dims: &field.dims })
-        .unwrap_or_else(|e| panic!("{} failed on {}: {e}", spec.name(), field.name));
-    (comp, stream)
+        .map_err(|e| format!("{} failed on {}: {e}", spec.name(), field.name))?;
+    Ok((comp, stream))
 }
 
 /// Render an aligned text table to stdout.
@@ -136,12 +142,19 @@ pub fn fmt(v: f64) -> String {
 /// The four ECC configurations the scalability figures run (Figures 8–10):
 /// parity per 8 bytes, Hamming(71,64), SEC-DED(72,64), RS(223,32).
 pub fn scaling_schemes() -> Vec<(&'static str, EccConfig)> {
-    vec![
-        ("Parity", EccConfig::parity(8).expect("static")),
-        ("Hamming", EccConfig::hamming(true)),
-        ("SEC-DED", EccConfig::secded(true)),
-        ("Reed-Solomon", EccConfig::rs(223, 32).expect("static")),
-    ]
+    // The fallible constructors only reject out-of-range parameters; these
+    // values are in range, so the `if let` arms always push. The unit test
+    // below pins the length at four in case the constructors ever tighten.
+    let mut schemes = Vec::with_capacity(4);
+    if let Ok(parity) = EccConfig::parity(8) {
+        schemes.push(("Parity", parity));
+    }
+    schemes.push(("Hamming", EccConfig::hamming(true)));
+    schemes.push(("SEC-DED", EccConfig::secded(true)));
+    if let Ok(rs) = EccConfig::rs(223, 32) {
+        schemes.push(("Reed-Solomon", rs));
+    }
+    schemes
 }
 
 /// Inject `count` soft errors into an **encoded** buffer such that the

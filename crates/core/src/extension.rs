@@ -27,8 +27,9 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use arc_ecc::parallel::DEFAULT_CHUNK_SIZE;
-use arc_ecc::{EccScheme, ParallelCodec};
+use arc_ecc::parallel::{timed_decode, timed_encode, DEFAULT_CHUNK_SIZE};
+use arc_ecc::uep::{uep_sz, uep_zfp};
+use arc_ecc::{Bch, Capability, EccConfig, EccScheme, Interleaved, ParallelCodec, RsBlock};
 
 use crate::container::{self, ContainerMeta};
 use crate::error::ArcError;
@@ -99,6 +100,50 @@ impl ExtensionRegistry {
     }
 }
 
+/// The stock extension families, pre-registered:
+///
+/// * `ileave-rs` — [`Interleaved`] RS(223|32) across 64 byte lanes: data
+///   bursts up to 64·16 bytes at bare-RS parity cost;
+/// * `bch` — [`Bch`] with t = 2: any two bit flips per 1000-byte block at
+///   0.4 % overhead (bit-rot insurance an order cheaper than SEC-DED);
+/// * `uep-sz` — [`arc_ecc::uep::Uep`] preset for SZ streams: heavy RS over
+///   the Huffman-table head, light RS over bit-plane tails;
+/// * `uep-zfp` — the ZFP analogue: strong head for the stream header and
+///   leading block metadata.
+pub fn standard_extensions() -> Result<ExtensionRegistry, ArcError> {
+    let mut r = ExtensionRegistry::new();
+    r.register("ileave-rs", Arc::new(Interleaved::new(RsBlock::new(32)?, 64)?))?;
+    r.register("bch", Arc::new(Bch::new(2)?))?;
+    r.register("uep-sz", Arc::new(uep_sz()?))?;
+    r.register("uep-zfp", Arc::new(uep_zfp()?))?;
+    Ok(r)
+}
+
+/// Resolve a container scheme id to a runnable scheme: built-in ids parse
+/// directly, `x:` ids go through `registry`. The error distinguishes "no
+/// registry supplied" from "registry lacks this name" so callers know
+/// whether to reach for a `*_with_registry` entry point or fix their
+/// registration.
+pub(crate) fn resolve_scheme(
+    scheme_id: &str,
+    registry: Option<&ExtensionRegistry>,
+) -> Result<Arc<dyn EccScheme>, ArcError> {
+    if let Ok(config) = EccConfig::parse_id(scheme_id) {
+        return Ok(Arc::new(config));
+    }
+    match registry {
+        Some(r) => r.resolve_id(scheme_id).ok_or_else(|| {
+            ArcError::InvalidRequest(format!(
+                "container scheme {scheme_id:?} is not registered in this registry"
+            ))
+        }),
+        None => Err(ArcError::InvalidRequest(format!(
+            "container uses extension scheme {scheme_id:?}; supply an ExtensionRegistry \
+             (decode_with_registry, StreamDecoder::with_registry, ArcReader::open_with_registry)"
+        ))),
+    }
+}
+
 /// Encode `data` with the registered scheme `name`, producing a standard
 /// ARC container tagged `x:<name>`.
 ///
@@ -132,6 +177,26 @@ pub fn encode_with_scheme(
     Ok(out)
 }
 
+/// Encode `data` with the registered scheme `name` into a v2 **sharded**
+/// container tagged `x:<name>` — the random-access layout that
+/// [`crate::reader::ArcReader`] serves `decode_range` from and
+/// [`crate::stream::StreamEncoder`] produces incrementally. Byte-identical
+/// to streaming the same data through `StreamEncoder` with the same scheme
+/// and shard size.
+pub fn encode_sharded_with_scheme(
+    data: &[u8],
+    registry: &ExtensionRegistry,
+    name: &str,
+    threads: usize,
+    shard_size: usize,
+) -> Result<Vec<u8>, ArcError> {
+    let scheme = registry.get(name).ok_or_else(|| {
+        ArcError::InvalidRequest(format!("no extension scheme named {name:?} registered"))
+    })?;
+    let codec = ParallelCodec::with_chunk_size(scheme, threads, DEFAULT_CHUNK_SIZE)?;
+    container::encode_sharded(data, &codec, &format!("{CUSTOM_PREFIX}{name}"), shard_size)
+}
+
 /// Decode any ARC container, resolving extension ids against `registry`
 /// (built-in ids decode as usual).
 pub fn decode_with_registry(
@@ -151,14 +216,6 @@ pub fn decode_with_registry(
             meta.scheme_id
         ))
     })?;
-    // No encode path produces sharded extension containers; refuse rather
-    // than guess at per-shard semantics for an unknown scheme.
-    if unpacked.index.is_some() {
-        return Err(ArcError::InvalidRequest(format!(
-            "sharded (v2) containers are not supported for extension scheme {:?}",
-            meta.scheme_id
-        )));
-    }
     // Bound data_len by the real payload before any codec length
     // arithmetic can see it (see interface::decode_with_threads).
     if meta.data_len > unpacked.payload.len() {
@@ -169,9 +226,23 @@ pub fn decode_with_registry(
         )));
     }
     let codec = ParallelCodec::with_chunk_size(scheme, threads, meta.chunk_size)?;
-    let mut data = unpacked.payload.to_vec();
-    let correction = codec.decode_in_place(&mut data, meta.data_len)?;
-    data.truncate(meta.data_len);
+    // v2 sharded extension containers decode through the exact same
+    // shard-walk as built-ins (geometry check, per-shard decode, per-shard
+    // CRC); v1 containers take the mono path.
+    let (data, correction) = match &unpacked.index {
+        Some(index) => crate::interface::decode_sharded_payload(
+            &codec,
+            unpacked.payload,
+            index,
+            meta.data_len,
+        )?,
+        None => {
+            let mut data = unpacked.payload.to_vec();
+            let correction = codec.decode_in_place(&mut data, meta.data_len)?;
+            data.truncate(meta.data_len);
+            (data, correction)
+        }
+    };
     if container::data_crc(&data) != meta.data_crc {
         return Err(ArcError::Ecc(arc_ecc::EccError::Uncorrectable {
             scheme: "custom",
@@ -186,9 +257,111 @@ pub fn decode_with_registry(
             correction,
             used_backup_header: unpacked.used_backup_header,
             header_symbols_corrected: unpacked.header_symbols_corrected,
-            index_repair: None,
+            index_repair: unpacked.index.as_ref().map(|_| unpacked.index_repair),
         },
     ))
+}
+
+/// One measured point for the storage/resiliency/throughput study: a
+/// scheme — built-in or extension — with its advertised capability and
+/// throughput calibrated on a real probe.
+#[derive(Debug, Clone)]
+pub struct ExtensionCandidate {
+    /// Scheme id as it appears in a container header (`rs:223:32`,
+    /// `x:bch`, …).
+    pub id: String,
+    /// Asymptotic storage overhead.
+    pub overhead: f64,
+    /// Advertised error response.
+    pub capability: Capability,
+    /// Measured encode throughput in MB/s.
+    pub encode_mb_s: f64,
+    /// Measured decode throughput in MB/s.
+    pub decode_mb_s: f64,
+}
+
+fn calibrate_one<S: EccScheme>(
+    id: String,
+    scheme: S,
+    probe: &[u8],
+    threads: usize,
+) -> Result<ExtensionCandidate, ArcError> {
+    let overhead = scheme.storage_overhead();
+    let capability = scheme.capability();
+    let codec = ParallelCodec::with_chunk_size(scheme, threads, DEFAULT_CHUNK_SIZE)?;
+    let (encoded, enc) = timed_encode(&codec, probe);
+    let (decoded, _, dec) = timed_decode(&codec, &encoded, probe.len())?;
+    if decoded != probe {
+        return Err(ArcError::Corrupted(format!(
+            "scheme {id:?} failed its calibration round-trip"
+        )));
+    }
+    Ok(ExtensionCandidate {
+        id,
+        overhead,
+        capability,
+        encode_mb_s: enc.mb_per_s(),
+        decode_mb_s: dec.mb_per_s(),
+    })
+}
+
+/// Calibrate every scheme in `registry` on `probe`: measure encode/decode
+/// throughput and verify a clean round-trip, yielding candidates that slot
+/// into the same study as [`calibrate_builtins`]. Candidates come back in
+/// registry-id order.
+pub fn calibrate_registry(
+    registry: &ExtensionRegistry,
+    probe: &[u8],
+    threads: usize,
+) -> Result<Vec<ExtensionCandidate>, ArcError> {
+    let mut out = Vec::new();
+    for name in registry.ids() {
+        if let Some(scheme) = registry.get(&name) {
+            out.push(calibrate_one(format!("{CUSTOM_PREFIX}{name}"), scheme, probe, threads)?);
+        }
+    }
+    Ok(out)
+}
+
+/// The built-in comparison points for the Pareto study, measured the same
+/// way as [`calibrate_registry`] so the two sets are directly comparable.
+pub fn calibrate_builtins(
+    probe: &[u8],
+    threads: usize,
+) -> Result<Vec<ExtensionCandidate>, ArcError> {
+    EccConfig::standard_space()
+        .into_iter()
+        .map(|config| calibrate_one(config.id(), config, probe, threads))
+        .collect()
+}
+
+/// Does `a` dominate `b` on the paper's storage/resiliency axes? Dominance
+/// means no-worse overhead, correctable rate, and burst/sparse correction,
+/// with a strict edge somewhere.
+fn dominates(a: &ExtensionCandidate, b: &ExtensionCandidate) -> bool {
+    let cap_rank = |c: &Capability| {
+        (u8::from(c.corrects_sparse), u8::from(c.corrects_burst), c.correctable_per_mb)
+    };
+    let (a_sparse, a_burst, a_rate) = cap_rank(&a.capability);
+    let (b_sparse, b_burst, b_rate) = cap_rank(&b.capability);
+    let no_worse =
+        a.overhead <= b.overhead && a_rate >= b_rate && a_sparse >= b_sparse && a_burst >= b_burst;
+    let strictly_better =
+        a.overhead < b.overhead || a_rate > b_rate || a_sparse > b_sparse || a_burst > b_burst;
+    no_worse && strictly_better
+}
+
+/// The Pareto-optimal subset of `candidates` under storage overhead (lower
+/// is better) versus error response (correctable rate, sparse/burst
+/// correction; higher is better) — the frontier the paper's Figure 11
+/// optimizers walk, now with extension families in the running. Order is
+/// preserved.
+pub fn pareto_frontier(candidates: &[ExtensionCandidate]) -> Vec<ExtensionCandidate> {
+    candidates
+        .iter()
+        .filter(|c| !candidates.iter().any(|other| dominates(other, c)))
+        .cloned()
+        .collect()
 }
 
 #[cfg(test)]
@@ -263,6 +436,62 @@ mod tests {
         let (out, report) = decode_with_registry(&enc, 1, &r).unwrap();
         assert_eq!(out, data);
         assert!(report.config.is_some());
+    }
+
+    #[test]
+    fn standard_extensions_ship_the_advertised_families() {
+        let r = standard_extensions().unwrap();
+        assert_eq!(r.ids(), vec!["bch", "ileave-rs", "uep-sz", "uep-zfp"]);
+    }
+
+    #[test]
+    fn extension_v2_sharded_round_trips() {
+        let r = standard_extensions().unwrap();
+        let data: Vec<u8> = (0..200_000).map(|i| ((i * 31) ^ (i >> 8)) as u8).collect();
+        for name in r.ids() {
+            let enc = encode_sharded_with_scheme(&data, &r, &name, 2, 64 * 1024).unwrap();
+            let (out, report) = decode_with_registry(&enc, 2, &r).unwrap();
+            assert_eq!(out, data, "{name}");
+            assert_eq!(report.scheme_id, format!("x:{name}"));
+            assert!(report.index_repair.is_some(), "{name} container should be sharded");
+        }
+    }
+
+    #[test]
+    fn sharded_extension_corrects_a_burst() {
+        let r = standard_extensions().unwrap();
+        let data: Vec<u8> = (0..150_000).map(|i| (i % 241) as u8).collect();
+        let mut enc = encode_sharded_with_scheme(&data, &r, "ileave-rs", 2, 64 * 1024).unwrap();
+        // A 200-byte burst in the middle of the payload: well beyond bare
+        // RS(223|32)'s 16-per-codeword budget, absorbed by 64-lane
+        // interleaving.
+        let start = enc.len() / 3;
+        for b in &mut enc[start..start + 200] {
+            *b ^= 0xFF;
+        }
+        let (out, report) = decode_with_registry(&enc, 2, &r).unwrap();
+        assert_eq!(out, data);
+        assert!(!report.correction.is_clean());
+    }
+
+    #[test]
+    fn extension_families_land_on_the_pareto_frontier() {
+        let r = standard_extensions().unwrap();
+        let probe: Vec<u8> = (0..(256usize << 10)).map(|i| ((i * 7) % 253) as u8).collect();
+        let mut all = calibrate_builtins(&probe, 2).unwrap();
+        all.extend(calibrate_registry(&r, &probe, 2).unwrap());
+        let frontier = pareto_frontier(&all);
+        // Every new family must be non-dominated alongside the built-ins.
+        for id in ["x:bch", "x:ileave-rs", "x:uep-sz", "x:uep-zfp"] {
+            assert!(
+                frontier.iter().any(|c| c.id == id),
+                "{id} dominated; frontier = {:?}",
+                frontier.iter().map(|c| c.id.clone()).collect::<Vec<_>>()
+            );
+        }
+        // And the frontier is a real subset: something built-in is
+        // dominated (e.g. plain Hamming by SEC-DED-like points).
+        assert!(frontier.len() < all.len());
     }
 
     #[test]

@@ -375,8 +375,12 @@ pub fn decode_with_threads(
 /// shard's own CRC as it lands. The index has already been RS-verified,
 /// but the per-shard geometry is still cross-checked against the codec so
 /// a forged index can never drive out-of-contract length arithmetic.
-fn decode_sharded_payload(
-    codec: &ParallelCodec<EccConfig>,
+///
+/// Generic over the scheme so extension registries
+/// ([`crate::extension::decode_with_registry`]) share the exact same
+/// sharded-decode semantics as built-ins.
+pub(crate) fn decode_sharded_payload<S: EccScheme>(
+    codec: &ParallelCodec<S>,
     payload: &[u8],
     index: &container::ShardIndex,
     data_len: usize,
@@ -405,8 +409,8 @@ fn decode_sharded_payload(
 /// A shard entry whose encoded length disagrees with the scheme's own
 /// arithmetic is corrupt (the index is CRC+RS protected, so this is
 /// defense in depth, not a hot path).
-pub(crate) fn check_shard_geometry(
-    codec: &ParallelCodec<EccConfig>,
+pub(crate) fn check_shard_geometry<S: EccScheme>(
+    codec: &ParallelCodec<S>,
     e: &container::ShardEntry,
     shard: usize,
 ) -> Result<(), ArcError> {
@@ -421,8 +425,8 @@ pub(crate) fn check_shard_geometry(
 }
 
 /// Per-shard end-to-end check, the sharded analogue of the whole-data CRC.
-pub(crate) fn verify_shard_crc(
-    codec: &ParallelCodec<EccConfig>,
+pub(crate) fn verify_shard_crc<S: EccScheme>(
+    codec: &ParallelCodec<S>,
     decoded: &[u8],
     expect: u32,
     shard: usize,

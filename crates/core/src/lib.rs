@@ -73,7 +73,11 @@ pub use engine::{
     ENGINE_FUNCTIONS,
 };
 pub use error::{ArcError, DecodeError};
-pub use extension::{decode_with_registry, encode_with_scheme, ExtensionRegistry};
+pub use extension::{
+    calibrate_builtins, calibrate_registry, decode_with_registry, encode_sharded_with_scheme,
+    encode_with_scheme, pareto_frontier, standard_extensions, ExtensionCandidate,
+    ExtensionRegistry, CUSTOM_PREFIX,
+};
 pub use failure::SystemProfile;
 pub use interface::{
     decode_with_threads, default_cache_path, ArcContext, ArcDecodeReport, ArcOptions, ANY_THREADS,

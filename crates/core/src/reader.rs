@@ -17,12 +17,14 @@
 //! the cache).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use arc_ecc::codec::CorrectionReport;
-use arc_ecc::{EccConfig, ParallelCodec};
+use arc_ecc::{EccScheme, ParallelCodec};
 
 use crate::container::{self, ContainerMeta, IndexRepair, ShardEntry};
 use crate::error::ArcError;
+use crate::extension::{self, ExtensionRegistry};
 use crate::interface::{check_shard_geometry, verify_shard_crc};
 
 /// Default shard-cache capacity (64 MiB of decoded shards).
@@ -161,7 +163,7 @@ pub struct ArcReader<'a> {
     entries: Vec<ShardEntry>,
     starts: Vec<usize>,
     payload_offset: usize,
-    codec: ParallelCodec<EccConfig>,
+    codec: ParallelCodec<Arc<dyn EccScheme>>,
     cache: ShardCache,
     index_repair: IndexRepair,
     sharded: bool,
@@ -187,6 +189,19 @@ impl<'a> ArcReader<'a> {
         Self::with_cache_capacity(bytes, threads, DEFAULT_CACHE_CAPACITY)
     }
 
+    /// As [`ArcReader::open`], additionally resolving extension scheme ids
+    /// (`x:<name>`) against `registry`, so v2 containers produced by
+    /// [`crate::extension::encode_sharded_with_scheme`] (or a
+    /// registry-backed [`crate::stream::StreamEncoder`]) serve
+    /// `decode_range` exactly like built-ins.
+    pub fn open_with_registry(
+        bytes: &'a [u8],
+        threads: usize,
+        registry: &ExtensionRegistry,
+    ) -> Result<ArcReader<'a>, ArcError> {
+        Self::build(bytes, threads, DEFAULT_CACHE_CAPACITY, Some(registry))
+    }
+
     /// As [`ArcReader::open`] with an explicit decoded-shard cache
     /// capacity in bytes (0 disables caching).
     pub fn with_cache_capacity(
@@ -194,14 +209,18 @@ impl<'a> ArcReader<'a> {
         threads: usize,
         capacity: usize,
     ) -> Result<ArcReader<'a>, ArcError> {
+        Self::build(bytes, threads, capacity, None)
+    }
+
+    fn build(
+        bytes: &'a [u8],
+        threads: usize,
+        capacity: usize,
+        registry: Option<&ExtensionRegistry>,
+    ) -> Result<ArcReader<'a>, ArcError> {
         let unpacked = container::unpack(bytes)?;
         let meta = unpacked.meta;
-        let config = meta.builtin_config().ok_or_else(|| {
-            ArcError::InvalidRequest(format!(
-                "random access requires a built-in scheme; container uses {:?}",
-                meta.scheme_id
-            ))
-        })?;
+        let scheme = extension::resolve_scheme(&meta.scheme_id, registry)?;
         if meta.data_len > unpacked.payload.len() {
             return Err(ArcError::Corrupted(format!(
                 "declared data length {} exceeds payload length {}",
@@ -209,7 +228,7 @@ impl<'a> ArcReader<'a> {
                 unpacked.payload.len()
             )));
         }
-        let codec = ParallelCodec::with_chunk_size(config, threads, meta.chunk_size)?;
+        let codec = ParallelCodec::with_chunk_size(scheme, threads, meta.chunk_size)?;
         let (entries, sharded) = match unpacked.index {
             Some(index) => (index.entries, true),
             None => {
@@ -359,6 +378,7 @@ impl<'a> ArcReader<'a> {
 mod tests {
     use super::*;
     use crate::engine::{arc_engine_encode, arc_engine_encode_sharded};
+    use arc_ecc::EccConfig;
 
     fn sample(n: usize) -> Vec<u8> {
         (0..n).map(|i| ((i * 131) ^ (i >> 3)) as u8).collect()
@@ -449,6 +469,23 @@ mod tests {
         assert!(out.is_empty());
         assert!(reader.decode_range(10_000, 1).is_err());
         assert!(reader.decode_range(usize::MAX, 2).is_err());
+    }
+
+    #[test]
+    fn extension_container_serves_ranges_with_registry() {
+        let r = crate::extension::standard_extensions().unwrap();
+        let data = sample(100_000);
+        let enc =
+            crate::extension::encode_sharded_with_scheme(&data, &r, "bch", 1, 16 << 10).unwrap();
+        // Registry-less open refuses with a pointer to the registry entry
+        // point rather than decoding garbage.
+        assert!(matches!(ArcReader::open(&enc, 1), Err(ArcError::InvalidRequest(_))));
+        let mut reader = ArcReader::open_with_registry(&enc, 1, &r).unwrap();
+        assert!(reader.is_sharded());
+        for (off, len) in [(0usize, 100usize), (50_000, 33_000), (99_999, 1)] {
+            let (out, _) = reader.decode_range(off, len).unwrap();
+            assert_eq!(out, &data[off..off + len], "{off}+{len}");
+        }
     }
 
     #[test]

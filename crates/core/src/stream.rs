@@ -38,6 +38,7 @@ use crate::container::{
     INDEX_ENTRY_BYTES, INDEX_NSYM,
 };
 use crate::error::ArcError;
+use crate::extension::{self, ExtensionRegistry};
 use crate::interface::{decode_with_threads, ArcDecodeReport};
 
 /// Positional byte sink for streaming encode output.
@@ -153,7 +154,7 @@ impl Drop for Ring {
 fn worker_loop(
     jobs: &Mutex<mpsc::Receiver<Job>>,
     done: &mpsc::Sender<Done>,
-    config: EccConfig,
+    scheme: Arc<dyn EccScheme>,
     chunk_size: usize,
 ) {
     // One sequential codec per worker: shard-level parallelism comes from
@@ -161,7 +162,7 @@ fn worker_loop(
     // free. Construction was already validated by the encoder's own codec;
     // if it fails here anyway, exiting turns into a clean `ArcError::Io`
     // on the encoder side.
-    let Ok(codec) = ParallelCodec::with_chunk_size(config, 1, chunk_size) else {
+    let Ok(codec) = ParallelCodec::with_chunk_size(scheme, 1, chunk_size) else {
         return;
     };
     loop {
@@ -185,7 +186,11 @@ fn worker_loop(
 }
 
 impl Ring {
-    fn start(config: EccConfig, chunk_size: usize, workers: usize) -> Result<Ring, ArcError> {
+    fn start(
+        scheme: Arc<dyn EccScheme>,
+        chunk_size: usize,
+        workers: usize,
+    ) -> Result<Ring, ArcError> {
         let (jobs_tx, jobs_rx) = mpsc::channel::<Job>();
         let (done_tx, done_rx) = mpsc::channel::<Done>();
         let jobs_rx = Arc::new(Mutex::new(jobs_rx));
@@ -193,9 +198,10 @@ impl Ring {
         for i in 0..workers {
             let rx = Arc::clone(&jobs_rx);
             let tx = done_tx.clone();
+            let scheme = Arc::clone(&scheme);
             let handle = thread::Builder::new()
                 .name(format!("arc-stream-{i}"))
-                .spawn(move || worker_loop(&rx, &tx, config, chunk_size))
+                .spawn(move || worker_loop(&rx, &tx, scheme, chunk_size))
                 .map_err(|e| ArcError::Io(format!("stream worker spawn: {e}")))?;
             ring.handles.push(handle);
         }
@@ -223,10 +229,11 @@ impl Ring {
 /// ```
 pub struct StreamEncoder<S: StreamSink> {
     sink: S,
-    config: EccConfig,
+    scheme_id: String,
     /// Sequential codec for geometry (and inline encode when `workers`
-    /// is 0).
-    codec: ParallelCodec<EccConfig>,
+    /// is 0). Runs the scheme behind an `Arc` so built-ins and extension
+    /// schemes share one code path.
+    codec: ParallelCodec<Arc<dyn EccScheme>>,
     shard_size: usize,
     ring_cap: usize,
     workers: usize,
@@ -245,20 +252,48 @@ pub struct StreamEncoder<S: StreamSink> {
 }
 
 impl<S: StreamSink> StreamEncoder<S> {
-    /// Start a streaming encode into `sink`.
+    /// Start a streaming encode into `sink` with a built-in scheme.
     pub fn new(sink: S, config: EccConfig, opts: StreamOptions) -> Result<Self, ArcError> {
+        let scheme_id = config.id();
+        Self::with_scheme(sink, Arc::new(config), scheme_id, opts)
+    }
+
+    /// Start a streaming encode with the extension scheme registered under
+    /// `name`. The finished container is tagged `x:<name>` and is
+    /// byte-identical to
+    /// [`crate::extension::encode_sharded_with_scheme`] over the
+    /// concatenated pushes.
+    pub fn with_registry_scheme(
+        sink: S,
+        registry: &ExtensionRegistry,
+        name: &str,
+        opts: StreamOptions,
+    ) -> Result<Self, ArcError> {
+        let scheme = registry.get(name).ok_or_else(|| {
+            ArcError::InvalidRequest(format!("no extension scheme named {name:?} registered"))
+        })?;
+        let scheme_id = format!("{}{name}", extension::CUSTOM_PREFIX);
+        Self::with_scheme(sink, scheme, scheme_id, opts)
+    }
+
+    fn with_scheme(
+        sink: S,
+        scheme: Arc<dyn EccScheme>,
+        scheme_id: String,
+        opts: StreamOptions,
+    ) -> Result<Self, ArcError> {
         if opts.shard_size == 0 {
             return Err(ArcError::InvalidRequest("shard size must be >= 1".into()));
         }
         if opts.ring == 0 {
             return Err(ArcError::InvalidRequest("ring capacity must be >= 1".into()));
         }
-        let codec = ParallelCodec::with_chunk_size(config, 1, opts.chunk_size)?;
+        let codec = ParallelCodec::with_chunk_size(Arc::clone(&scheme), 1, opts.chunk_size)?;
         // The header length is a pure function of the scheme id and the
         // sharded flag, so the payload region can start before any length
         // field is known; `finish` back-patches the real header at 0.
         let meta = ContainerMeta {
-            scheme_id: config.id(),
+            scheme_id: scheme_id.clone(),
             chunk_size: opts.chunk_size,
             data_len: 0,
             payload_len: 0,
@@ -268,14 +303,14 @@ impl<S: StreamSink> StreamEncoder<S> {
         let hlen = container::header_len(&meta);
         let workers = resolve_threads(opts.threads);
         let ring = if workers > 1 {
-            Some(Ring::start(config, opts.chunk_size, workers.min(opts.ring))?)
+            Some(Ring::start(scheme, opts.chunk_size, workers.min(opts.ring))?)
         } else {
             None
         };
         let workers = ring.as_ref().map(|r| r.handles.len()).unwrap_or(0);
         Ok(StreamEncoder {
             sink,
-            config,
+            scheme_id,
             codec,
             shard_size: opts.shard_size,
             ring_cap: opts.ring,
@@ -473,7 +508,7 @@ impl<S: StreamSink> StreamEncoder<S> {
         self.ring = None;
         let index = container::rs_index_encode(&container::serialize_index(&self.entries))?;
         let meta = ContainerMeta {
-            scheme_id: self.config.id(),
+            scheme_id: self.scheme_id.clone(),
             chunk_size: self.codec.chunk_size(),
             data_len: self.data_len,
             payload_len: self.payload_pos,
@@ -569,11 +604,16 @@ enum Phase {
 /// ```
 pub struct StreamDecoder {
     threads: usize,
+    /// Extension schemes the header's scheme id may resolve against.
+    /// `None` still decodes every built-in container; extension-tagged
+    /// headers then fail with a pointer to
+    /// [`StreamDecoder::with_registry`].
+    registry: Option<ExtensionRegistry>,
     phase: Phase,
     buf: Vec<u8>,
     candidates: Vec<usize>,
     meta: Option<ContainerMeta>,
-    codec: Option<ParallelCodec<EccConfig>>,
+    codec: Option<ParallelCodec<Arc<dyn EccScheme>>>,
     used_backup_header: bool,
     header_symbols_corrected: usize,
     computed: Vec<ShardEntry>,
@@ -602,6 +642,7 @@ impl StreamDecoder {
     pub fn with_threads(threads: usize) -> Self {
         StreamDecoder {
             threads,
+            registry: None,
             phase: Phase::Prefix,
             buf: Vec::new(),
             candidates: Vec::new(),
@@ -617,6 +658,14 @@ impl StreamDecoder {
             index_repair: IndexRepair::default(),
             failed: false,
         }
+    }
+
+    /// As [`StreamDecoder::with_threads`], additionally resolving
+    /// extension scheme ids (`x:<name>`) against `registry`, so containers
+    /// produced by [`StreamEncoder::with_registry_scheme`] (or the one-shot
+    /// extension encoders) stream-decode like built-ins.
+    pub fn with_registry(threads: usize, registry: ExtensionRegistry) -> Self {
+        StreamDecoder { registry: Some(registry), ..Self::with_threads(threads) }
     }
 
     /// Feed the next piece of the container, appending any newly decoded
@@ -715,7 +764,7 @@ impl StreamDecoder {
             .ok_or_else(|| ArcError::Corrupted("stream decoder lost its shard geometry".into()))
     }
 
-    fn codec_ref(&self) -> Result<&ParallelCodec<EccConfig>, ArcError> {
+    fn codec_ref(&self) -> Result<&ParallelCodec<Arc<dyn EccScheme>>, ArcError> {
         self.codec
             .as_ref()
             .ok_or_else(|| ArcError::Corrupted("stream decoder lost its codec".into()))
@@ -807,13 +856,8 @@ impl StreamDecoder {
     /// of (`data_len`, `shard_size`, `chunk_size`) the encoder computes,
     /// so a corrupt-but-decodable header cannot demand unbounded memory.
     fn accept_header(&mut self, meta: ContainerMeta, out: &mut Vec<u8>) -> Result<(), ArcError> {
-        let config = meta.builtin_config().ok_or_else(|| {
-            ArcError::InvalidRequest(format!(
-                "container uses extension scheme {:?}; stream decoding supports built-ins only",
-                meta.scheme_id
-            ))
-        })?;
-        let codec = ParallelCodec::with_chunk_size(config, self.threads, meta.chunk_size)?;
+        let scheme = extension::resolve_scheme(&meta.scheme_id, self.registry.as_ref())?;
+        let codec = ParallelCodec::with_chunk_size(scheme, self.threads, meta.chunk_size)?;
         match meta.sharding {
             Some(sh) => {
                 if codec.sharded_encoded_len(meta.data_len, sh.shard_size) != meta.payload_len {
@@ -1179,6 +1223,48 @@ mod tests {
         assert!(dec.push(&junk, &mut out).is_err());
         assert!(dec.push(b"more", &mut out).is_err());
         assert!(dec.finish().is_err());
+    }
+
+    #[test]
+    fn extension_scheme_streams_like_builtins() {
+        let r = crate::extension::standard_extensions().unwrap();
+        let data = sample(60_000);
+        let opts = StreamOptions { shard_size: 16 << 10, ..StreamOptions::default() };
+        let mut enc = StreamEncoder::with_registry_scheme(Vec::new(), &r, "ileave-rs", opts)
+            .expect("registry encoder");
+        for piece in data.chunks(1234) {
+            enc.push(piece).unwrap();
+        }
+        let (got, stats) = enc.finish().unwrap();
+        let one_shot =
+            crate::extension::encode_sharded_with_scheme(&data, &r, "ileave-rs", 1, 16 << 10)
+                .unwrap();
+        assert_eq!(got, one_shot, "streamed container must match the one-shot bytes");
+        assert_eq!(stats.shards, data.len().div_ceil(16 << 10));
+
+        // The threaded ring runs the same scheme behind its `Arc` and must
+        // produce the same bytes.
+        let threaded = StreamOptions { threads: 2, ring: 2, ..opts };
+        let mut enc = StreamEncoder::with_registry_scheme(Vec::new(), &r, "ileave-rs", threaded)
+            .expect("threaded registry encoder");
+        enc.push(&data).unwrap();
+        let (got_threaded, _) = enc.finish().unwrap();
+        assert_eq!(got_threaded, one_shot);
+
+        // A registry-less decoder refuses the extension header politely…
+        let mut dec = StreamDecoder::new();
+        let mut out = Vec::new();
+        assert!(matches!(dec.push(&got, &mut out), Err(ArcError::InvalidRequest(_))));
+        // …and a registry-backed one streams it exactly like a built-in.
+        let mut dec = StreamDecoder::with_registry(1, r);
+        let mut out = Vec::new();
+        for piece in got.chunks(997) {
+            dec.push(piece, &mut out).unwrap();
+        }
+        let stats = dec.finish().unwrap();
+        assert_eq!(out, data);
+        assert_eq!(stats.scheme_id, "x:ileave-rs");
+        assert!(stats.correction.is_clean());
     }
 
     #[test]

@@ -93,6 +93,27 @@ pub fn single_correct_rate_per_mb(codewords_per_mb: f64) -> f64 {
     (0.02 * codewords_per_mb).sqrt().max(1.0)
 }
 
+/// Generalization of [`single_correct_rate_per_mb`] to codes correcting up
+/// to `t` errors per codeword: the largest uniform error rate (errors/MB)
+/// for which the probability of any of `codewords_per_mb` codewords
+/// receiving `t + 1` errors stays below 1%.
+///
+/// For `e` errors thrown uniformly into `n` codewords the expected number
+/// of overloaded codewords is ≈ n · (e/n)^(t+1) / (t+1)!; solving for 1%
+/// gives e ≈ n · (0.01 · (t+1)! / n)^(1/(t+1)). At `t = 1` this reduces to
+/// the √(0.02·n) of the single-correct model.
+pub fn multi_correct_rate_per_mb(codewords_per_mb: f64, t: usize) -> f64 {
+    if codewords_per_mb <= 0.0 || t == 0 {
+        return if t == 0 { 0.0 } else { 1.0 };
+    }
+    let mut factorial = 1.0f64;
+    for k in 2..=(t + 1) {
+        factorial *= k as f64;
+    }
+    let n = codewords_per_mb;
+    (n * (0.01 * factorial / n).powf(1.0 / (t as f64 + 1.0))).max(1.0)
+}
+
 /// The interface every ECC scheme implements. Encoded layout is always
 /// `data ‖ parity`; `parity_len` is a pure function of the data length so the
 /// chunk-parallel driver can compute offsets without per-chunk headers.
@@ -268,6 +289,21 @@ mod tests {
         assert!((r2 / r1 - (8.0f64).sqrt()).abs() < 0.1);
         // Never below one error per MB.
         assert_eq!(single_correct_rate_per_mb(0.0), 1.0);
+    }
+
+    #[test]
+    fn multi_correct_rate_reduces_to_single_at_t1() {
+        for n in [1000.0f64, 131_072.0, 1_048_576.0] {
+            let single = single_correct_rate_per_mb(n);
+            let multi = multi_correct_rate_per_mb(n, 1);
+            assert!((single - multi).abs() < 1e-9, "n={n}");
+        }
+        // Higher t always tolerates a higher rate.
+        assert!(multi_correct_rate_per_mb(4096.0, 16) > multi_correct_rate_per_mb(4096.0, 2));
+        assert!(multi_correct_rate_per_mb(4096.0, 2) > multi_correct_rate_per_mb(4096.0, 1));
+        // Detection-only and degenerate inputs.
+        assert_eq!(multi_correct_rate_per_mb(4096.0, 0), 0.0);
+        assert_eq!(multi_correct_rate_per_mb(0.0, 3), 1.0);
     }
 
     #[test]

@@ -12,6 +12,17 @@
 //!   substitution): CRC-located erasures over a Cauchy generator.
 //! * [`rscode::RsCodeword`] — classical BCH-view RS with Berlekamp–Massey
 //!   unknown-location decoding (container-header protection, ablations).
+//!
+//! Extension families for the `arc-core` registry (§7 future work):
+//!
+//! * [`rsblock::RsBlock`] — codeword-level RS as an [`codec::EccScheme`]:
+//!   checksum-free unknown-location byte correction.
+//! * [`interleaved::Interleaved`] — byte-lane interleaving around any inner
+//!   scheme, turning bursts into per-codeword singles.
+//! * [`bch::Bch`] — shortened binary BCH(8191, 8191−13t, t) over GF(2^13)
+//!   for bit-rot at sub-percent overhead.
+//! * [`uep::Uep`] — unequal error protection: strong head code over
+//!   compressor metadata, light tail code over bit planes.
 //! * [`parallel::ParallelCodec`] — chunked thread-parallel encode/decode at
 //!   explicit thread counts.
 //! * [`config::EccConfig`] — the serializable configuration space ARC's
@@ -31,6 +42,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bch;
 pub mod bitmatrix;
 pub mod bits;
 pub mod codec;
@@ -39,26 +51,33 @@ pub mod crc;
 pub mod gf256;
 pub mod hamming;
 pub mod interleave;
+pub mod interleaved;
 pub mod parallel;
 pub mod parity;
 pub mod replication;
 pub mod rs;
+pub mod rsblock;
 pub mod rscode;
 pub mod schedule;
 pub mod secded;
+pub mod uep;
 
 /// Convenient re-exports of the crate's primary types.
 pub mod prelude {
+    pub use crate::bch::Bch;
     pub use crate::codec::{Capability, CorrectionReport, EccError, EccScheme};
     pub use crate::config::{EccConfig, EccMethod};
     pub use crate::hamming::{BlockWidth, Hamming};
     pub use crate::interleave::InterleavedSecDed;
+    pub use crate::interleaved::Interleaved;
     pub use crate::parallel::{ParallelCodec, ThroughputSample, ANY_THREADS, DEFAULT_CHUNK_SIZE};
     pub use crate::parity::Parity;
     pub use crate::replication::Replication;
     pub use crate::rs::ReedSolomon;
+    pub use crate::rsblock::RsBlock;
     pub use crate::rscode::RsCodeword;
     pub use crate::secded::SecDed;
+    pub use crate::uep::{uep_sz, uep_zfp, Uep};
 }
 
 pub use prelude::*;

@@ -709,6 +709,79 @@ pub fn builtin_targets() -> Vec<DecodeTarget> {
         }
     }
 
+    // Extension-registry containers: one v2 sharded golden stream per
+    // stock extension family, attacked through all three registry-aware
+    // decode surfaces — the one-shot `decode_with_registry`, the
+    // random-access reader, and the push-based stream decoder. These are
+    // exactly the paths the extension support routes through the shared
+    // shard walk, so hostile bytes must be rejected there with the same
+    // totality as for built-ins.
+    let ext_payload: Vec<u8> = (0..12_000u32).map(|i| (i.wrapping_mul(37) % 249) as u8).collect();
+    let mut ext_streams: Vec<(String, GoldenStream)> = Vec::new();
+    if let Ok(registry) = arc_core::standard_extensions() {
+        for name in registry.ids() {
+            let Ok(bytes) =
+                arc_core::encode_sharded_with_scheme(&ext_payload, &registry, &name, 1, 4096)
+            else {
+                continue;
+            };
+            let (header_len, trailer_len) = arc_core::container::unpack(&bytes)
+                .map(|u| (u.payload_offset, u.meta.sharding.map_or(0, |s| 3 * s.index_len)))
+                .unwrap_or((128, 0));
+            let stream =
+                GoldenStream { name: format!("ext-{name}-v2"), bytes, header_len, trailer_len };
+            ext_streams.push((name, stream));
+        }
+    }
+    for (name, stream) in &ext_streams {
+        targets.push(DecodeTarget {
+            name: format!("ext-{name}"),
+            streams: vec![stream.clone()],
+            decode: Arc::new(|b, _budget| {
+                let registry = arc_core::standard_extensions().map_err(|e| e.to_string())?;
+                arc_core::decode_with_registry(b, 1, &registry)
+                    .map(|(data, _report)| data.len() as u64)
+                    .map_err(|e| e.to_string())
+            }),
+        });
+    }
+    let all_ext: Vec<GoldenStream> = ext_streams.into_iter().map(|(_, s)| s).collect();
+    targets.push(DecodeTarget {
+        name: "ext-range".to_string(),
+        streams: all_ext.clone(),
+        decode: Arc::new(|b, _budget| {
+            let registry = arc_core::standard_extensions().map_err(|e| e.to_string())?;
+            let mut reader = arc_core::ArcReader::open_with_registry(b, 1, &registry)
+                .map_err(|e| e.to_string())?;
+            let n = reader.data_len();
+            let mut produced = 0u64;
+            let probes = [
+                (0usize, n.min(256)),
+                (n / 2, (n / 4).min(n - n / 2)),
+                (n.saturating_sub(64), n.min(64)),
+            ];
+            for (off, len) in probes {
+                let (out, _) = reader.decode_range(off, len).map_err(|e| e.to_string())?;
+                produced += out.len() as u64;
+            }
+            Ok(produced)
+        }),
+    });
+    targets.push(DecodeTarget {
+        name: "ext-stream".to_string(),
+        streams: all_ext,
+        decode: Arc::new(|b, _budget| {
+            let registry = arc_core::standard_extensions().map_err(|e| e.to_string())?;
+            let mut dec = arc_core::StreamDecoder::with_registry(1, registry);
+            let mut out = Vec::new();
+            for piece in b.chunks(509) {
+                dec.push(piece, &mut out).map_err(|e| e.to_string())?;
+            }
+            dec.finish().map_err(|e| e.to_string())?;
+            Ok(out.len() as u64)
+        }),
+    });
+
     targets
 }
 
@@ -731,6 +804,12 @@ mod tests {
                 "container-range",
                 "stream-v2",
                 "container-rs-scheduled",
+                "ext-bch",
+                "ext-ileave-rs",
+                "ext-uep-sz",
+                "ext-uep-zfp",
+                "ext-range",
+                "ext-stream",
             ]
         );
         for t in &targets {

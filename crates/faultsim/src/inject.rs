@@ -65,6 +65,21 @@ pub fn stride_bits(total_bits: u64, count: usize) -> Vec<u64> {
     (0..count).map(|i| (i as u64 * total_bits) / count as u64).collect()
 }
 
+/// Corrupt a contiguous run of `len` bytes starting at `start` by XOR-ing
+/// each with `0xFF` — the burst fault model (a scratched sector, a torn
+/// DMA, a dropped cache line), as opposed to the paper's sparse
+/// uniformly-sampled flips. Involutive: applying it twice restores the
+/// buffer. Returns the number of bytes actually corrupted (the run is
+/// clipped to the buffer).
+pub fn burst_byte_run(buf: &mut [u8], start: usize, len: usize) -> usize {
+    let end = start.saturating_add(len).min(buf.len());
+    let start = start.min(buf.len());
+    for b in &mut buf[start..end] {
+        *b ^= 0xFF;
+    }
+    end - start
+}
+
 /// Inject `count` random *correctable-by-construction* bit flips into
 /// distinct bytes (used by the Fig 10 decode-under-errors study, which
 /// requires every injected error to be correctable).
@@ -137,6 +152,22 @@ mod tests {
         assert_eq!(bits, vec![0, 100, 200, 300, 400, 500, 600, 700, 800, 900]);
         assert!(stride_bits(5, 10).len() == 5);
         assert!(stride_bits(0, 10).is_empty());
+    }
+
+    #[test]
+    fn burst_byte_run_is_involutive_and_clipped() {
+        let mut buf = vec![0x11u8; 64];
+        let orig = buf.clone();
+        assert_eq!(burst_byte_run(&mut buf, 10, 20), 20);
+        assert_eq!(buf[9], 0x11);
+        assert_eq!(buf[10], !0x11);
+        assert_eq!(buf[29], !0x11);
+        assert_eq!(buf[30], 0x11);
+        assert_eq!(burst_byte_run(&mut buf, 10, 20), 20);
+        assert_eq!(buf, orig);
+        // Clipping: run past the end, and start past the end.
+        assert_eq!(burst_byte_run(&mut buf, 60, 100), 4);
+        assert_eq!(burst_byte_run(&mut buf, 100, 5), 0);
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! Fault-injection calibration for the stock extension ECC families.
+//!
+//! Two claims are exercised here:
+//!
+//! 1. **Calibration sweep** — every family registered by
+//!    `arc_core::standard_extensions()` survives fault injection at rates
+//!    inside its advertised [`Capability`]: sparse flips spread across the
+//!    buffer for all families, plus contiguous byte bursts (the
+//!    [`arc_faultsim::burst_byte_run`] model) for the families that
+//!    advertise `corrects_burst`.
+//! 2. **Interleaving beats bare RS** (property test) — at *identical*
+//!    parity overhead, the 64-lane interleaved wrapper corrects data-region
+//!    bursts that defeat the bare inner RS code.
+
+use std::sync::OnceLock;
+
+use arc_core::standard_extensions;
+use arc_ecc::{EccScheme, Interleaved, RsBlock};
+use arc_faultsim::{burst_byte_run, flip_bit, stride_bits};
+use proptest::prelude::*;
+
+fn sample(n: usize) -> Vec<u8> {
+    (0..n).map(|i| ((i * 73) ^ (i >> 6) ^ (i >> 11)) as u8).collect()
+}
+
+/// Largest contiguous data-region burst each family is calibrated to
+/// absorb. `ileave-rs` dilutes a burst across 64 lanes; the UEP presets
+/// are bounded by their light tail code (RsBlock(8) → t = 4 for `uep-sz`,
+/// RsBlock(4) → t = 2 for `uep-zfp`); `bch` does not advertise burst
+/// correction at all.
+fn burst_budget(name: &str) -> usize {
+    match name {
+        "ileave-rs" => 300,
+        "uep-sz" => 4,
+        "uep-zfp" => 2,
+        _ => 0,
+    }
+}
+
+#[test]
+fn calibration_sweep_every_family_survives_advertised_faults() {
+    let registry = standard_extensions().expect("stock registry");
+    let data = sample(128 << 10);
+    for name in registry.ids() {
+        let scheme = registry.get(&name).expect("registered scheme");
+        let cap = scheme.capability();
+        assert!(cap.corrects_sparse, "{name} must advertise sparse correction");
+        assert!(cap.correctable_per_mb >= 1.0, "{name} advertises a usable rate");
+        let enc = scheme.encode(&data);
+        let total_bits = enc.len() as u64 * 8;
+
+        // Sparse flips, evenly spread (well under every family's
+        // per-codeword budget), shifted per seed so different bits and
+        // different codeword offsets are hit each round.
+        for seed in 0..4u64 {
+            let mut buf = enc.clone();
+            for bit in stride_bits(total_bits, 16) {
+                flip_bit(&mut buf, (bit + seed * 1009 * 8) % total_bits);
+            }
+            let (out, report) =
+                scheme.decode(&buf, data.len()).unwrap_or_else(|e| panic!("{name}/{seed}: {e}"));
+            assert_eq!(out, data, "{name}/{seed}: sparse repair mismatch");
+            assert!(!report.is_clean(), "{name}/{seed}: flips should be reported");
+        }
+
+        // Contiguous burst in the data region for burst-capable families.
+        let burst = burst_budget(&name);
+        if burst > 0 {
+            assert!(cap.corrects_burst, "{name} has a burst budget but no burst capability");
+            for seed in 0..4usize {
+                let mut buf = enc.clone();
+                let start = 1 + seed * (data.len() - burst - 2) / 3;
+                assert_eq!(burst_byte_run(&mut buf, start, burst), burst);
+                let (out, report) = scheme
+                    .decode(&buf, data.len())
+                    .unwrap_or_else(|e| panic!("{name}: burst at {start}: {e}"));
+                assert_eq!(out, data, "{name}: burst at {start} not repaired");
+                assert!(!report.is_clean());
+            }
+        }
+    }
+}
+
+const LANES: usize = 64;
+const CODEWORD_DATA: usize = 223; // RsBlock(32) message bytes
+const DATA_LEN: usize = 2 * LANES * CODEWORD_DATA; // lanes split into whole codewords
+
+fn encodings() -> &'static (Vec<u8>, Vec<u8>, Vec<u8>) {
+    static ENC: OnceLock<(Vec<u8>, Vec<u8>, Vec<u8>)> = OnceLock::new();
+    ENC.get_or_init(|| {
+        let data = sample(DATA_LEN);
+        let inner = RsBlock::new(32).expect("inner RS");
+        let wrapped = Interleaved::new(inner.clone(), LANES).expect("wrapper");
+        // Identical parity bill: interleaving only permutes the data the
+        // inner code sees.
+        assert_eq!(inner.parity_len(DATA_LEN), wrapped.parity_len(DATA_LEN));
+        let bare = inner.encode(&data);
+        let ileaved = wrapped.encode(&data);
+        (data, bare, ileaved)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any 40..=400-byte data-region burst puts ≥ 17 errors into some bare
+    /// RS codeword (t = 16), so the bare code must fail — while 64-lane
+    /// interleaving spreads the same burst to ≤ ⌈400/64⌉ = 7 errors per
+    /// codeword and must recover exactly.
+    #[test]
+    fn interleaving_corrects_bursts_that_defeat_bare_rs(
+        len in 40usize..=400,
+        frac in 0.0f64..1.0,
+    ) {
+        let (data, bare, ileaved) = encodings();
+        let inner = RsBlock::new(32).expect("inner RS");
+        let wrapped = Interleaved::new(inner.clone(), LANES).expect("wrapper");
+        let start = (frac * (DATA_LEN - len) as f64) as usize;
+
+        let mut bare_hit = bare.clone();
+        burst_byte_run(&mut bare_hit, start, len);
+        let bare_result = inner.decode(&bare_hit, data.len());
+        prop_assert!(
+            bare_result.is_err() || bare_result.is_ok_and(|(out, _)| &out != data),
+            "bare RS survived a {len}-byte burst at {start}"
+        );
+
+        let mut ileaved_hit = ileaved.clone();
+        burst_byte_run(&mut ileaved_hit, start, len);
+        let decoded = wrapped.decode(&ileaved_hit, data.len());
+        prop_assert!(decoded.is_ok(), "wrapped decode failed: {:?}", decoded.err());
+        let (out, report) = decoded.unwrap();
+        prop_assert_eq!(&out, data, "interleaved repair mismatch (len={}, start={})", len, start);
+        prop_assert!(!report.is_clean());
+    }
+}

@@ -9,7 +9,10 @@
 #      silently falling off their fast path. Checked at threads=1 AND at
 #      threads=max_threads (from the committed baseline), so a pool-path
 #      or thread-floor regression cannot hide behind a healthy
-#      single-thread number. One run, hard fail.
+#      single-thread number. One run, hard fail. The multi-thread point
+#      is skipped (loudly) when this machine's core count differs from
+#      the baseline's recorded_cores stamp — cross-hardware scaling
+#      comparisons are noise, not signal.
 #   2. TELEMETRY_MAX_REGRESS_PCT (default 2%): the compiled-out telemetry
 #      facade must cost nothing in the default build. 2% sits inside
 #      wall-clock noise on a shared machine, so a miss is retried up to
@@ -62,10 +65,22 @@ rs_encode() {
         | head -n 1
 }
 
-# Thread counts to gate: 1 plus the baseline machine's max (deduped).
+# Thread counts to gate: 1 plus the baseline machine's max (deduped) — but
+# only when this machine has the same core count the baseline was recorded
+# on. Scaling figures from a 1-core recording are meaningless on a 32-core
+# box (and vice versa), so a mismatch skips the multi-thread point loudly
+# rather than failing (or silently passing) a bogus comparison.
 baseline_max="$(sed -n 's/.*"max_threads": \([0-9]*\).*/\1/p' "$BASELINE" | head -n 1)"
+recorded_cores="$(sed -n 's/.*"recorded_cores": \([0-9]*\).*/\1/p' "$BASELINE" | head -n 1)"
+current_cores="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)"
 thread_points="1"
-if [[ -n "$baseline_max" && "$baseline_max" != "1" ]]; then
+if [[ -z "$recorded_cores" ]]; then
+    echo "SKIP: $BASELINE has no recorded_cores field (pre-stamp recording);" >&2
+    echo "      gating threads=1 only — re-record the baseline to restore scaling gates" >&2
+elif [[ "$recorded_cores" != "$current_cores" ]]; then
+    echo "SKIP: baseline recorded on ${recorded_cores} core(s) but this machine has ${current_cores};" >&2
+    echo "      scaling comparison at threads=${baseline_max} is not meaningful — gating threads=1 only" >&2
+elif [[ -n "$baseline_max" && "$baseline_max" != "1" ]]; then
     thread_points="1 $baseline_max"
 fi
 
@@ -154,6 +169,6 @@ while :; do
     attempt=$((attempt + 1))
     echo "retry ${attempt}/${TELEMETRY_GATE_RETRIES}: ${best} MiB/s below the ${TELEMETRY_MAX_REGRESS_PCT}% floor, rerunning"
     cargo run -p arc-bench --release --bin ecc_baseline > "$fresh_json"
-    rerun="$(rs_encode "$fresh_json")"
+    rerun="$(rs_encode "$fresh_json" 1)"
     best="$(awk -v a="$best" -v b="$rerun" 'BEGIN { print (b > a) ? b : a }')"
 done

@@ -14,7 +14,10 @@
 #      regress more than this against the committed BENCH_traffic.json.
 #      Wall-clock noise on shared machines only understates throughput,
 #      so a miss is retried up to GATE_RETRIES times and the best run
-#      is judged.
+#      is judged. The gate is skipped (loudly) when this machine's core
+#      count differs from the baseline's recorded_cores stamp: the full
+#      run streams with max_threads workers, so throughput recorded on
+#      different hardware is not comparable.
 #   3. Structural: the fresh JSON must carry per-class p50/p99 figures
 #      for both loops (the bin asserts their sanity internally).
 #
@@ -54,6 +57,22 @@ if [[ -z "$committed" ]]; then
     exit 1
 fi
 
+# Cross-hardware guard: the committed throughput was recorded with
+# max_threads workers on the recording machine; comparing against a run
+# with a different worker count measures the hardware, not a regression.
+recorded_cores="$(sed -n 's/.*"recorded_cores": \([0-9]*\).*/\1/p' "$BASELINE" | head -n 1)"
+current_cores="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)"
+compare_throughput=1
+if [[ -z "$recorded_cores" ]]; then
+    echo "SKIP: $BASELINE has no recorded_cores field (pre-stamp recording);" >&2
+    echo "      throughput gate disabled — re-record the baseline to restore it" >&2
+    compare_throughput=0
+elif [[ "$recorded_cores" != "$current_cores" ]]; then
+    echo "SKIP: baseline recorded on ${recorded_cores} core(s) but this machine has ${current_cores};" >&2
+    echo "      streaming throughput is not comparable — skipping the regression gate" >&2
+    compare_throughput=0
+fi
+
 run_fresh() {
     echo "==> cargo run -p arc-bench --release --features telemetry --bin traffic_sim"
     cargo run -p arc-bench --release --features telemetry --bin traffic_sim > "$fresh_json"
@@ -83,6 +102,10 @@ done
 echo "OK: closed+open loops report p50/p99 for all three classes"
 
 # Throughput regression gate, retried because noise only understates.
+if [[ "$compare_throughput" == 0 ]]; then
+    echo "throughput gate skipped (core-count mismatch); structural + internal gates still apply"
+    exit 0
+fi
 best="$fresh"
 attempt=0
 while :; do
